@@ -1,0 +1,134 @@
+(* Benchmark harness: regenerates every table and figure of DESIGN.md §4
+   (the empirical analogues of the paper's theorems), then runs bechamel
+   micro-benchmarks of the hot kernels.
+
+   Usage:  dune exec bench/main.exe [-- --full] [-- --only T1,F4]
+           [-- --seed N] [-- --no-micro]                               *)
+
+module P = Wm_graph.Prng
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+module Gen = Wm_graph.Gen
+module B = Wm_graph.Bipartition
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let rng = P.create 2024 in
+  let bip =
+    Gen.random_bipartite rng ~left:200 ~right:200 ~p:0.05
+      ~weights:(Gen.Uniform (1, 50))
+  in
+  let gnp = Gen.gnp rng ~n:300 ~p:0.05 ~weights:(Gen.Uniform (1, 50)) in
+  let stream_graph = Gen.gnp rng ~n:400 ~p:0.05 ~weights:(Gen.Uniform (1, 100)) in
+  let params = Wm_core.Params.practical ~epsilon:0.2 () in
+  let matching = Wm_algos.Greedy.by_weight gnp in
+  let tests =
+    [
+      Test.make ~name:"T1:random-arrival(n=400)"
+        (Staged.stage (fun () ->
+             let s =
+               Wm_stream.Edge_stream.of_graph
+                 ~order:(Wm_stream.Edge_stream.Random (P.create 7))
+                 stream_graph
+             in
+             ignore (Wm_core.Random_arrival.solve ~rng:(P.create 11) s)));
+      Test.make ~name:"T2:unweighted-0.506(n=400)"
+        (Staged.stage (fun () ->
+             let s =
+               Wm_stream.Edge_stream.of_graph
+                 ~order:(Wm_stream.Edge_stream.Random (P.create 7))
+                 stream_graph
+             in
+             ignore (Wm_algos.Unweighted_random_arrival.solve s)));
+      Test.make ~name:"T3/T4:improve-once(n=300)"
+        (Staged.stage (fun () ->
+             let m = M.copy matching in
+             ignore (Wm_core.Main_alg.improve_once params (P.create 13) gnp m)));
+      Test.make ~name:"T5:unw3aug-feed(n=300)"
+        (Staged.stage (fun () ->
+             let t =
+               Wm_algos.Unw3aug.create ~n:(G.n gnp) ~mid:matching ~beta:0.5 ()
+             in
+             G.iter_edges
+               (fun e ->
+                 if not (M.mem matching e) then Wm_algos.Unw3aug.feed t e)
+               gnp;
+             ignore (Wm_algos.Unw3aug.finalize t)));
+      Test.make ~name:"substrate:hopcroft-karp(n=400)"
+        (Staged.stage (fun () ->
+             ignore (Wm_exact.Hopcroft_karp.solve bip ~left:(B.halves 200))));
+      Test.make ~name:"substrate:hungarian(n=400)"
+        (Staged.stage (fun () ->
+             ignore (Wm_exact.Hungarian.solve bip ~left:(B.halves 200))));
+      Test.make ~name:"substrate:blossom(n=300)"
+        (Staged.stage (fun () -> ignore (Wm_exact.Blossom.solve gnp)));
+      Test.make ~name:"substrate:local-ratio(n=400)"
+        (Staged.stage (fun () ->
+             let s = Wm_stream.Edge_stream.of_graph stream_graph in
+             ignore (Wm_algos.Local_ratio.solve s)));
+      Test.make ~name:"substrate:weighted-blossom(n=300)"
+        (Staged.stage (fun () ->
+             ignore (Wm_exact.Weighted_blossom.solve gnp)));
+      Test.make ~name:"substrate:streaming-bip(n=400)"
+        (Staged.stage (fun () ->
+             ignore
+               (Wm_algos.Streaming_bipartite.solve ~n:(G.n bip)
+                  ~left:(B.halves 200) ~delta:0.1 (fun f ->
+                    G.iter_edges f bip))));
+      Test.make ~name:"substrate:layered-build(n=300)"
+        (Staged.stage (fun () ->
+             let gp = Wm_core.Layered.parametrize (P.create 17) gnp matching in
+             let tp = Wm_core.Params.tau_params params in
+             let pair = { Wm_core.Tau.a = [| 0; 4; 0 |]; b = [| 3; 3 |] } in
+             ignore (Wm_core.Layered.build tp gp pair ~scale:16.0)));
+    ]
+  in
+  Printf.printf "\n=== micro-benchmarks (bechamel; monotonic clock) ===\n%!";
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-36s %12.0f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "%-36s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let full = ref false in
+  let only = ref "" in
+  let seed = ref 42 in
+  let micro = ref true in
+  let args =
+    [
+      ("--full", Arg.Set full, "full-size experiments (slower)");
+      ("--only", Arg.Set_string only, "comma-separated experiment ids");
+      ("--seed", Arg.Set_int seed, "base random seed (default 42)");
+      ("--no-micro", Arg.Clear micro, "skip bechamel micro-benchmarks");
+    ]
+  in
+  Arg.parse args (fun _ -> ()) "bench/main.exe [--full] [--only IDS] [--seed N]";
+  let quick = not !full in
+  Printf.printf
+    "Weighted Matchings via Unweighted Augmentations — experiment harness\n";
+  Printf.printf "mode: %s, seed: %d\n%!" (if quick then "quick" else "full") !seed;
+  (if !only = "" then Wm_harness.Experiments.run_all ~quick ~seed:!seed
+   else
+     String.split_on_char ',' !only
+     |> List.iter (fun id ->
+            match Wm_harness.Experiments.find (String.trim id) with
+            | Some e -> e.Wm_harness.Experiments.run ~quick ~seed:!seed
+            | None -> Printf.printf "unknown experiment id: %s\n" id));
+  if !micro then micro_benchmarks ()

@@ -1,0 +1,251 @@
+(* Command-line interface for the weighted-matching library.
+
+     wm_cli solve --family bip --n 200 --algo main --epsilon 0.1
+     wm_cli experiment T1 F4 --full
+     wm_cli list                                                     *)
+
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+module P = Wm_graph.Prng
+module B = Wm_graph.Bipartition
+module Gen = Wm_graph.Gen
+module ES = Wm_stream.Edge_stream
+
+(* ------------------------------------------------------------------ *)
+(* Instance construction *)
+
+type family = Bip | Gnp | Cycles | Trap | Quintuples
+
+let family_conv =
+  Cmdliner.Arg.enum
+    [ ("bip", Bip); ("gnp", Gnp); ("cycles", Cycles); ("trap", Trap);
+      ("quintuples", Quintuples) ]
+
+type weights_kind = Wunit | Wuniform | Wgeom
+
+let weights_conv =
+  Cmdliner.Arg.enum [ ("unit", Wunit); ("uniform", Wuniform); ("geom", Wgeom) ]
+
+let build_instance ~family ~n ~density ~weights ~seed =
+  let rng = P.create seed in
+  let w =
+    match weights with
+    | Wunit -> Gen.Unit_weight
+    | Wuniform -> Gen.Uniform (1, 100)
+    | Wgeom -> Gen.Geometric_classes 8
+  in
+  let p = density /. float_of_int n in
+  match family with
+  | Bip ->
+      let g = Gen.random_bipartite rng ~left:(n / 2) ~right:(n / 2) ~p:(2.0 *. p) ~weights:w in
+      (g, None)
+  | Gnp -> (Gen.gnp rng ~n ~p ~weights:w, None)
+  | Cycles ->
+      let g, m = Gen.augmenting_cycle_family ~cycles:(n / 4) ~low:3 ~high:4 in
+      (g, Some m)
+  | Trap -> (Gen.near_half_trap rng ~blocks:(n / 4), None)
+  | Quintuples ->
+      let g, m = Gen.planted_quintuples rng ~k:(n / 6) ~weights:w in
+      (g, Some m)
+
+(* ------------------------------------------------------------------ *)
+(* Algorithms *)
+
+type algo =
+  | Greedy_algo
+  | Local_ratio_algo
+  | Random_arrival_algo
+  | Unweighted_ra_algo
+  | Main_algo
+  | Streaming_algo
+  | Mpc_algo
+  | Exact_algo
+
+let algo_conv =
+  Cmdliner.Arg.enum
+    [
+      ("greedy", Greedy_algo);
+      ("local-ratio", Local_ratio_algo);
+      ("random-arrival", Random_arrival_algo);
+      ("unweighted-ra", Unweighted_ra_algo);
+      ("main", Main_algo);
+      ("streaming", Streaming_algo);
+      ("mpc", Mpc_algo);
+      ("exact", Exact_algo);
+    ]
+
+let optimum g =
+  match Wm_exact.Mwm_general.solve_opt g with
+  | Some o -> Some (M.weight o)
+  | None -> None
+
+let run_solve family n density weights seed algo epsilon input =
+  let g, init =
+    match input with
+    | Some path -> (Wm_graph.Graph_io.read_file path, None)
+    | None -> build_instance ~family ~n ~density ~weights ~seed
+  in
+  Printf.printf "instance: n=%d m=%d total-weight=%d%s\n" (G.n g) (G.m g)
+    (G.total_weight g)
+    (match init with
+    | Some m -> Printf.sprintf " initial-matching=%d" (M.weight m)
+    | None -> "");
+  let rng = P.create (seed + 1) in
+  let stream () = ES.of_graph ~order:(ES.Random (P.create (seed + 2))) g in
+  let result =
+    match algo with
+    | Greedy_algo -> Wm_algos.Greedy.by_weight g
+    | Local_ratio_algo -> Wm_algos.Local_ratio.solve (stream ())
+    | Random_arrival_algo -> Wm_core.Random_arrival.solve ~rng (stream ())
+    | Unweighted_ra_algo -> Wm_algos.Unweighted_random_arrival.solve (stream ())
+    | Main_algo ->
+        let params = Wm_core.Params.practical ~epsilon () in
+        fst (Wm_core.Main_alg.solve ?init params rng g)
+    | Streaming_algo ->
+        let params = Wm_core.Params.practical ~epsilon () in
+        let s = stream () in
+        let r = Wm_core.Model_driver.streaming params rng s in
+        Printf.printf "passes=%d peak-edges=%d rounds=%d\n"
+          r.Wm_core.Model_driver.passes r.Wm_core.Model_driver.peak_edges
+          r.Wm_core.Model_driver.rounds_run;
+        r.Wm_core.Model_driver.matching
+    | Mpc_algo ->
+        let params = Wm_core.Params.practical ~epsilon () in
+        let machines = Stdlib.max 2 (G.m g / Stdlib.max 1 (G.n g)) in
+        let memory_words = 16 * G.n g * 10 in
+        let cluster = Wm_mpc.Cluster.create ~machines ~memory_words in
+        let r = Wm_core.Model_driver.mpc params rng cluster g in
+        Printf.printf "rounds=%d peak-machine-memory=%d machines=%d\n"
+          r.Wm_core.Model_driver.rounds
+          r.Wm_core.Model_driver.peak_machine_memory machines;
+        r.Wm_core.Model_driver.matching
+    | Exact_algo -> (
+        match Wm_exact.Mwm_general.solve_opt g with
+        | Some m -> m
+        | None ->
+            Printf.printf "no exact solver applies; greedy+swaps lower bound\n";
+            Wm_exact.Mwm_general.lower_bound g)
+  in
+  Printf.printf "matching: size=%d weight=%d valid=%b\n" (M.size result)
+    (M.weight result)
+    (M.is_valid_in result g);
+  (match optimum g with
+  | Some opt when opt > 0 ->
+      Printf.printf "optimum: %d  ratio: %.4f\n" opt
+        (float_of_int (M.weight result) /. float_of_int opt)
+  | Some _ | None -> ());
+  0
+
+(* ------------------------------------------------------------------ *)
+(* Experiment commands *)
+
+let run_experiments ids quick seed =
+  (match ids with
+  | [] -> Wm_harness.Experiments.run_all ~quick ~seed
+  | ids ->
+      List.iter
+        (fun id ->
+          match Wm_harness.Experiments.find id with
+          | Some e -> e.Wm_harness.Experiments.run ~quick ~seed
+          | None -> Printf.eprintf "unknown experiment id: %s\n" id)
+        ids);
+  0
+
+let run_list () =
+  List.iter
+    (fun (e : Wm_harness.Experiments.experiment) ->
+      Printf.printf "%-4s %-40s (%s)\n" e.Wm_harness.Experiments.id
+        e.Wm_harness.Experiments.title e.Wm_harness.Experiments.claim)
+    Wm_harness.Experiments.all;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner wiring *)
+
+open Cmdliner
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let solve_cmd =
+  let family_t =
+    Arg.(value & opt family_conv Bip & info [ "family" ] ~doc:"Instance family: $(docv).")
+  in
+  let n_t = Arg.(value & opt int 200 & info [ "n"; "size" ] ~doc:"Vertex count.") in
+  let density_t =
+    Arg.(value & opt float 16.0 & info [ "density" ] ~doc:"Average degree.")
+  in
+  let weights_t =
+    Arg.(value & opt weights_conv Wuniform & info [ "weights" ] ~doc:"Weight distribution.")
+  in
+  let algo_t =
+    Arg.(value & opt algo_conv Main_algo & info [ "algo" ] ~doc:"Algorithm.")
+  in
+  let eps_t =
+    Arg.(value & opt float 0.1 & info [ "epsilon" ] ~doc:"Target slack for (1-eps) algorithms.")
+  in
+  let input_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "input" ] ~docv:"FILE" ~doc:"Read the instance from a DIMACS-style file instead of generating one.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Generate (or load) an instance and run one algorithm")
+    Term.(
+      const run_solve $ family_t $ n_t $ density_t $ weights_t $ seed_t
+      $ algo_t $ eps_t $ input_t)
+
+let experiment_cmd =
+  let ids_t =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+  in
+  let full_t =
+    Arg.(value & flag & info [ "full" ] ~doc:"Full-size experiments (slower).")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate the paper's tables and figures")
+    Term.(
+      const (fun ids full seed -> run_experiments ids (not full) seed)
+      $ ids_t $ full_t $ seed_t)
+
+let gen_cmd =
+  let family_t =
+    Arg.(value & opt family_conv Bip & info [ "family" ] ~doc:"Instance family.")
+  in
+  let n_t = Arg.(value & opt int 200 & info [ "n"; "size" ] ~doc:"Vertex count.") in
+  let density_t =
+    Arg.(value & opt float 16.0 & info [ "density" ] ~doc:"Average degree.")
+  in
+  let weights_t =
+    Arg.(value & opt weights_conv Wuniform & info [ "weights" ] ~doc:"Weight distribution.")
+  in
+  let out_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let run family n density weights seed out =
+    let g, _ = build_instance ~family ~n ~density ~weights ~seed in
+    Wm_graph.Graph_io.write_file out g;
+    Printf.printf "wrote %s: n=%d m=%d total-weight=%d\n" out (G.n g) (G.m g)
+      (G.total_weight g);
+    0
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate an instance and write it to a file")
+    Term.(const run $ family_t $ n_t $ density_t $ weights_t $ seed_t $ out_t)
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available experiments")
+    Term.(const run_list $ const ())
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "wm_cli" ~version:"1.0.0"
+       ~doc:"Weighted matchings via unweighted augmentations (PODC 2019)")
+    [ solve_cmd; gen_cmd; experiment_cmd; list_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

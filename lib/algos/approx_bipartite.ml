@@ -1,0 +1,29 @@
+let phases delta =
+  if delta < 0. then invalid_arg "Approx_bipartite: negative delta";
+  if delta = 0. then max_int else int_of_float (Float.ceil (1.0 /. delta))
+
+let solve ?init ~delta g ~left =
+  let k = phases delta in
+  if k = max_int then Wm_exact.Hopcroft_karp.solve ?init g ~left
+  else Wm_exact.Hopcroft_karp.solve ?init ~max_phases:k g ~left
+
+let solve_metered ?init ~delta g ~left =
+  let r =
+    Streaming_bipartite.solve ?init ~n:(Wm_graph.Weighted_graph.n g) ~left
+      ~delta (fun f -> Wm_graph.Weighted_graph.iter_edges f g)
+  in
+  (r.Streaming_bipartite.matching, r.Streaming_bipartite.passes)
+
+let pass_charge ~delta =
+  let k = phases delta in
+  if k = max_int then invalid_arg "Approx_bipartite.pass_charge: delta = 0"
+  else (k * k) + (2 * k)
+
+let round_charge ~delta ~n =
+  let k = phases delta in
+  if k = max_int then invalid_arg "Approx_bipartite.round_charge: delta = 0";
+  let loglog =
+    let l2 x = Float.log x /. Float.log 2.0 in
+    int_of_float (Float.ceil (l2 (Stdlib.max 2.0 (l2 (float_of_int (Stdlib.max 4 n))))))
+  in
+  k * Stdlib.max 1 loglog

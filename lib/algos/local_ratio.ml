@@ -1,0 +1,55 @@
+module M = Wm_graph.Matching
+module E = Wm_graph.Edge
+module Meter = Wm_stream.Space_meter
+
+type t = {
+  eps : float;
+  alpha : int array;
+  mutable stack : E.t list; (* most recent first *)
+  mutable stack_size : int;
+  mutable frozen : bool;
+  meter : Meter.t;
+}
+
+let create ?(eps = 0.) ?(meter = Meter.create ()) ~n () =
+  if eps < 0. then invalid_arg "Local_ratio.create: negative eps";
+  { eps; alpha = Array.make n 0; stack = []; stack_size = 0; frozen = false; meter }
+
+let residual t e =
+  let u, v = E.endpoints e in
+  E.weight e - t.alpha.(u) - t.alpha.(v)
+
+let feed t e =
+  let u, v = E.endpoints e in
+  let threshold =
+    (* With eps = 0 this is the plain positivity test. *)
+    int_of_float (Float.ceil (t.eps *. float_of_int (t.alpha.(u) + t.alpha.(v))))
+  in
+  let r = residual t e in
+  if r > threshold then begin
+    t.stack <- e :: t.stack;
+    t.stack_size <- t.stack_size + 1;
+    Meter.retain t.meter 1;
+    if not t.frozen then begin
+      t.alpha.(u) <- t.alpha.(u) + r;
+      t.alpha.(v) <- t.alpha.(v) + r
+    end
+  end
+
+let freeze t = t.frozen <- true
+let is_frozen t = t.frozen
+let potential t v = t.alpha.(v)
+let stack_size t = t.stack_size
+let stack_edges t = t.stack
+
+let unwind_onto t m = List.iter (fun e -> ignore (M.try_add m e)) t.stack
+
+let unwind t =
+  let m = M.create (Array.length t.alpha) in
+  unwind_onto t m;
+  m
+
+let solve ?eps s =
+  let t = create ?eps ~n:(Wm_stream.Edge_stream.graph_n s) () in
+  Wm_stream.Edge_stream.iter s (feed t);
+  unwind t

@@ -1,0 +1,122 @@
+module E = Wm_graph.Edge
+module M = Wm_graph.Matching
+
+type pass = (E.t -> unit) -> unit
+
+type result = { matching : M.t; passes : int; phases : int }
+
+let solve ?init ?(max_phases = max_int) ~n ~left ~delta pass =
+  if delta < 0. then invalid_arg "Streaming_bipartite.solve: negative delta";
+  let cap =
+    if delta = 0. then Stdlib.max 1 n
+    else Stdlib.max 1 (int_of_float (Float.ceil (1.0 /. delta)))
+  in
+  let m = match init with Some m -> M.copy m | None -> M.create n in
+  let passes = ref 0 in
+  let phases = ref 0 in
+  let level = Array.make n (-1) in
+  let parent : E.t option array = Array.make n None in
+  let running = ref true in
+  while !running && !phases < max_phases do
+    (* One phase: BFS from the free left vertices, one pass per level,
+       until some free right vertex is reached (shortest augmenting
+       paths) or the depth cap exhausts. *)
+    Array.fill level 0 n (-1);
+    Array.fill parent 0 n None;
+    for v = 0 to n - 1 do
+      if left v && not (M.is_matched m v) then level.(v) <- 0
+    done;
+    let found_depth = ref (-1) in
+    let depth = ref 0 in
+    let dead = ref false in
+    while !found_depth = -1 && (not !dead) && !depth < cap do
+      (* Is there any left vertex on the current frontier? *)
+      let frontier = ref false in
+      for v = 0 to n - 1 do
+        if level.(v) = 2 * !depth then frontier := true
+      done;
+      if not !frontier then dead := true
+      else begin
+        incr passes;
+        pass (fun e ->
+            let u, v = E.endpoints e in
+            if left u <> left v then begin
+              let l, r = if left u then (u, v) else (v, u) in
+              if
+                (not (M.mem m e))
+                && level.(l) = 2 * !depth
+                && level.(r) = -1
+              then begin
+                level.(r) <- (2 * !depth) + 1;
+                parent.(r) <- Some e
+              end
+            end);
+        let any_free = ref false in
+        let grew = ref false in
+        for r = 0 to n - 1 do
+          if (not (left r)) && level.(r) = (2 * !depth) + 1 then
+            match M.edge_at m r with
+            | None -> any_free := true
+            | Some me ->
+                let l' = E.other me r in
+                if level.(l') = -1 then begin
+                  level.(l') <- (2 * !depth) + 2;
+                  parent.(l') <- Some me;
+                  grew := true
+                end
+        done;
+        if !any_free then found_depth := !depth
+        else if not !grew then dead := true
+        else incr depth
+      end
+    done;
+    if !found_depth = -1 then running := false
+    else begin
+      (* Extract vertex-disjoint augmenting paths greedily and flip. *)
+      let used = Array.make n false in
+      let applied = ref 0 in
+      let target_level = (2 * !found_depth) + 1 in
+      for r0 = 0 to n - 1 do
+        if (not (left r0)) && level.(r0) = target_level && not (M.is_matched m r0)
+        then begin
+          (* Trace back to a free left vertex, collecting edges with
+             their parity (even = to add, odd = to remove). *)
+          let rec trace r acc verts =
+            match parent.(r) with
+            | None -> None
+            | Some e_un -> (
+                let l = E.other e_un r in
+                if level.(l) = 0 then Some (e_un :: acc, l :: r :: verts)
+                else
+                  match parent.(l) with
+                  | None -> None
+                  | Some e_m ->
+                      let r' = E.other e_m l in
+                      trace r' (e_m :: e_un :: acc) (l :: r :: verts))
+          in
+          match trace r0 [] [] with
+          | None -> ()
+          | Some (path_edges, verts) ->
+              if List.for_all (fun v -> not used.(v)) verts then begin
+                List.iter (fun v -> used.(v) <- true) verts;
+                (* path_edges runs free-left .. r0, alternating
+                   unmatched/matched/unmatched...; remove matched first. *)
+                List.iter
+                  (fun e -> if M.mem m e then M.remove m e)
+                  path_edges;
+                List.iteri
+                  (fun i e -> if i mod 2 = 0 then M.add m e)
+                  path_edges;
+                incr applied
+              end
+        end
+      done;
+      incr phases;
+      if !applied = 0 then running := false
+    end
+  done;
+  { matching = m; passes = !passes; phases = !phases }
+
+let solve_stream ?init ~delta stream ~left =
+  let n = Wm_stream.Edge_stream.graph_n stream in
+  solve ?init ~n ~left ~delta (fun f -> Wm_stream.Edge_stream.iter stream f)

@@ -1,0 +1,206 @@
+module E = Wm_graph.Edge
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+
+type stats = {
+  pairs_tried : int;
+  layered_edges : int;
+  paths_found : int;
+  black_box_calls : int;
+  black_box_passes : int;
+      (* max measured stream passes across the (parallel) instances *)
+}
+
+let present_buckets params (gp : Layered.parametrized) ~scale =
+  let tp = Params.tau_params params in
+  let granule = params.Params.granularity *. scale in
+  let cap = Tau.max_granules tp in
+  let a_tbl = Hashtbl.create 16 and b_tbl = Hashtbl.create 16 in
+  G.iter_edges
+    (fun e ->
+      let u, v = E.endpoints e in
+      if gp.Layered.side.(u) <> gp.Layered.side.(v) then
+        if M.mem gp.Layered.matching e then begin
+          let bkt = Tau.bucket_up ~granule (E.weight e) in
+          if bkt <= cap then Hashtbl.replace a_tbl bkt ()
+        end
+        else begin
+          let bkt = Tau.bucket_down ~granule (E.weight e) in
+          if bkt >= 2 && bkt <= cap then Hashtbl.replace b_tbl bkt ()
+        end)
+    gp.Layered.graph;
+  let keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
+  (keys a_tbl, keys b_tbl)
+
+(* Random alternating walks give tau pairs biased towards shapes that
+   are actually realisable in the data — a practical stand-in for the
+   paper's exhaustive enumeration, which only ever matters on pairs
+   whose layered graphs are non-empty. *)
+let walk_pairs params rng (gp : Layered.parametrized) ~scale ~count =
+  let tp = Params.tau_params params in
+  let g = gp.Layered.graph and m = gp.Layered.matching in
+  let n = G.n g in
+  if n = 0 then []
+  else begin
+    let granule = params.Params.granularity *. scale in
+    let pairs = ref [] in
+    for _ = 1 to count do
+      let start = Wm_graph.Prng.int rng n in
+      let a_buckets = ref [] and b_buckets = ref [] in
+      (* First matched bucket: the anchor's matching edge, or a free end. *)
+      let cur = ref start in
+      (match M.edge_at m start with
+      | Some e ->
+          a_buckets := [ Tau.bucket_up ~granule (E.weight e) ];
+          cur := E.other e start
+      | None -> a_buckets := [ 0 ]);
+      let steps = 1 + Wm_graph.Prng.int rng (params.Params.max_layers - 1) in
+      (try
+         for _ = 1 to steps do
+           let unmatched =
+             List.filter (fun (_, e) -> not (M.mem m e)) (G.neighbors g !cur)
+           in
+           if unmatched = [] then raise Exit;
+           let _, o =
+             List.nth unmatched (Wm_graph.Prng.int rng (List.length unmatched))
+           in
+           b_buckets := Tau.bucket_down ~granule (E.weight o) :: !b_buckets;
+           let x = E.other o !cur in
+           match M.edge_at m x with
+           | Some e' ->
+               a_buckets := Tau.bucket_up ~granule (E.weight e') :: !a_buckets;
+               cur := E.other e' x
+           | None ->
+               a_buckets := 0 :: !a_buckets;
+               raise Exit
+         done
+       with Exit -> ());
+      if List.length !b_buckets >= 1 then begin
+        match
+          Tau.capture_path tp ~a_buckets:(List.rev !a_buckets)
+            ~b_buckets:(List.rev !b_buckets)
+        with
+        | Some pr -> pairs := pr :: !pairs
+        | None -> ()
+      end
+    done;
+    Tau.dedup !pairs
+  end
+
+let one_augmentations g m =
+  (* The k = 1 augmentation class solved exactly: single-edge
+     augmentations need no bipartition or rounding. *)
+  let augs = ref [] in
+  G.iter_edges
+    (fun e ->
+      if not (M.mem m e) then begin
+        let u, v = E.endpoints e in
+        let gain = E.weight e - M.weight_at m u - M.weight_at m v in
+        if gain > 0 then augs := (Aug.Path [ e ], gain) :: !augs
+      end)
+    g;
+  List.map fst
+    (List.sort (fun (_, g1) (_, g2) -> Int.compare g2 g1) !augs)
+
+let candidate_pairs params rng gp ~scale =
+  let tp = Params.tau_params params in
+  let a_values, b_values = present_buckets params gp ~scale in
+  if b_values = [] then []
+  else begin
+    let homog = Tau.homogeneous tp ~a_values ~b_values in
+    let walks =
+      if params.Params.tau_samples > 0 then
+        walk_pairs params rng gp ~scale ~count:params.Params.tau_samples
+      else []
+    in
+    let uniform =
+      if params.Params.tau_samples > 0 then
+        Tau.sample tp rng ~a_values ~b_values
+          ~count:(params.Params.tau_samples / 4)
+      else []
+    in
+    let all = Tau.dedup (homog @ walks @ uniform) in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: tl -> x :: take (n - 1) tl
+    in
+    take params.Params.tau_budget all
+  end
+
+let run params rng g m ~scale =
+  let tp = Params.tau_params params in
+  let gp = Layered.parametrize rng g m in
+  let pairs = candidate_pairs params rng gp ~scale in
+  let stats =
+    ref
+      {
+        pairs_tried = 0;
+        layered_edges = 0;
+        paths_found = 0;
+        black_box_calls = 0;
+        black_box_passes = 0;
+      }
+  in
+  (* With [combine_pairs], the used-vertex table persists across pairs
+     and every pair contributes; otherwise each pair builds its own set
+     and the best one wins (Algorithm 4 line 13, verbatim). *)
+  let combined_used = Hashtbl.create 64 in
+  let combined = ref ([], 0) in
+  let best = ref ([], 0) in
+  List.iter
+    (fun pair ->
+      let lay = Layered.build tp gp pair ~scale in
+      stats :=
+        {
+          !stats with
+          pairs_tried = !stats.pairs_tried + 1;
+          layered_edges = !stats.layered_edges + Layered.edge_count lay;
+        };
+      (* No between-layer edge survived the filter: nothing to find. *)
+      if Layered.edge_count lay > M.size lay.Layered.init then begin
+        let m', bb_passes =
+          Wm_algos.Approx_bipartite.solve_metered ~init:lay.Layered.init
+            ~delta:params.Params.delta lay.Layered.lgraph ~left:(Layered.left lay)
+        in
+        stats :=
+          {
+            !stats with
+            black_box_calls = !stats.black_box_calls + 1;
+            black_box_passes = Stdlib.max !stats.black_box_passes bb_passes;
+          };
+        let paths = Layered.augmenting_paths lay m' in
+        stats := { !stats with paths_found = !stats.paths_found + List.length paths };
+        let used =
+          if params.Params.combine_pairs then combined_used else Hashtbl.create 64
+        in
+        let chosen = ref [] and gain_sum = ref 0 in
+        List.iter
+          (fun layered_path ->
+            let verts, edges =
+              Decompose.project ~base_n:lay.Layered.base_n layered_path
+            in
+            match Decompose.decompose ~verts ~edges with
+            | [] -> ()
+            | comps -> (
+                match Decompose.best_component comps m with
+                | Some (c, gain) when gain > 0 ->
+                    let touched = Aug.touched_vertices c m in
+                    let clear =
+                      List.for_all (fun v -> not (Hashtbl.mem used v)) touched
+                    in
+                    if clear && Aug.is_wellformed c && Aug.is_alternating c m
+                    then begin
+                      List.iter (fun v -> Hashtbl.replace used v ()) touched;
+                      chosen := c :: !chosen;
+                      gain_sum := !gain_sum + gain
+                    end
+                | Some _ | None -> ()))
+          paths;
+        if params.Params.combine_pairs then
+          combined := (!chosen @ fst !combined, !gain_sum + snd !combined)
+        else if !gain_sum > snd !best then best := (!chosen, !gain_sum)
+      end)
+    pairs;
+  let result = if params.Params.combine_pairs then !combined else !best in
+  (fst result, !stats)

@@ -1,0 +1,62 @@
+(** One augmentation class (Algorithm 4 / Theorem 4.8): find
+    vertex-disjoint augmentations of scale [W].
+
+    For a random bipartition and a family of good [(tau^A, tau^B)]
+    pairs, build each layered graph, run the [(1 - delta)] bipartite
+    unweighted black box, translate its augmenting paths back to the
+    original graph via Lemma 4.11, and keep — per pair — a
+    vertex-disjoint set of strictly gainful augmentations.  The pair
+    whose set has the largest total gain wins (line 13). *)
+
+type stats = {
+  pairs_tried : int;
+  layered_edges : int;  (** total retained edges across layered graphs *)
+  paths_found : int;  (** augmenting paths across all layered graphs *)
+  black_box_calls : int;
+  black_box_passes : int;
+      (** measured stream passes of the slowest black-box instance —
+          instances run in parallel over the same stream, so this is the
+          round's pass bill *)
+}
+
+val one_augmentations :
+  Wm_graph.Weighted_graph.t -> Wm_graph.Matching.t -> Aug.t list
+(** The [k = 1] augmentation class solved exactly: every unmatched edge
+    whose weight strictly exceeds the matching weight at both endpoints,
+    as single-edge augmentations sorted by decreasing gain.  Needs no
+    bipartition or rounding, so it is pulled out of the layered-graph
+    machinery and swept separately by Algorithm 3. *)
+
+val walk_pairs :
+  Params.t ->
+  Wm_graph.Prng.t ->
+  Layered.parametrized ->
+  scale:float ->
+  count:int ->
+  Tau.pair list
+(** Tau pairs derived from random alternating walks: sampling the pair
+    space proportionally to realisability (only pairs whose layered
+    graphs are non-empty can ever contribute, and those are exactly the
+    bucket sequences of actual walks). *)
+
+val candidate_pairs :
+  Params.t ->
+  Wm_graph.Prng.t ->
+  Layered.parametrized ->
+  scale:float ->
+  Tau.pair list
+(** The tau-pair pool for one scale: homogeneous pairs over the weight
+    buckets present in the data, walk-sampled pairs, and a few uniform
+    draws, truncated to [tau_budget].  An empty list means the scale
+    cannot host any augmentation. *)
+
+val run :
+  Params.t ->
+  Wm_graph.Prng.t ->
+  Wm_graph.Weighted_graph.t ->
+  Wm_graph.Matching.t ->
+  scale:float ->
+  Aug.t list * stats
+(** [run params rng g m ~scale] returns the winning pair's
+    vertex-disjoint augmentations (possibly empty), each strictly
+    gainful against [m]. *)

@@ -1,0 +1,46 @@
+(** Constructive Lemma 4.12: exhibit, for a given augmentation, the
+    parametrization, scale and good [(tau^A, tau^B)] pair whose layered
+    graph contains it.
+
+    The paper's lemma is existential ("there exists a parametrization
+    and a good pair so that the layered graph contains a path whose
+    decomposition contains C"); this module computes the witness —
+    alternate the bipartition sides along the structure, take the
+    Lemma 4.12 scale and threshold buckets, and (for cycles) the
+    smallest repetition count that turns the cycle into a gainful
+    layered path.  Used by tests and the F5 harness to certify that
+    structural augmentations are reachable, and useful for debugging
+    why a given augmentation is (not) being found at given knobs. *)
+
+type witness = {
+  side : bool array;  (** the deterministic bipartition (true = L) *)
+  pair : Tau.pair;
+  scale : float;  (** the class scale W *)
+  repetitions : int;  (** 1 for paths; the cycle blow-up count otherwise *)
+}
+
+val witness :
+  Tau.params ->
+  class_ratio:float ->
+  Wm_graph.Weighted_graph.t ->
+  Wm_graph.Matching.t ->
+  Aug.t ->
+  witness option
+(** [witness tp ~class_ratio g m aug] returns a witness whose layered
+    graph provably contains [aug], or [None] when no good pair exists at
+    this granularity/layer budget (the augmentation is below the
+    rounding resolution — compare experiment F4's 9/10 row).
+    Requirements: [aug] must be well-formed, alternating for [m], and —
+    for paths — begin and end with an unmatched edge. *)
+
+val verify :
+  Tau.params ->
+  witness ->
+  Wm_graph.Weighted_graph.t ->
+  Wm_graph.Matching.t ->
+  Aug.t ->
+  bool
+(** [verify tp w g m aug] (same [tp] as used for {!witness}) builds the
+    witness's layered graph, checks that the expected layered path is
+    contained in it edge by edge, and that the Lemma 4.11 decomposition
+    of that path recovers [aug] exactly (as an edge set). *)

@@ -1,0 +1,113 @@
+module E = Wm_graph.Edge
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+
+type parametrized = { side : bool array; graph : G.t; matching : M.t }
+
+let parametrize rng g m =
+  { side = Wm_graph.Bipartition.random rng (G.n g); graph = g; matching = m }
+
+let parametrize_with ~side g m =
+  if Array.length side <> G.n g then
+    invalid_arg "Layered.parametrize_with: side array size mismatch";
+  { side; graph = g; matching = m }
+
+type t = {
+  base_n : int;
+  layer_count : int;
+  lgraph : G.t;
+  init : M.t;
+  pair : Tau.pair;
+  scale : float;
+  side : bool array;
+}
+
+let vertex_id ~base_n ~layer v = ((layer - 1) * base_n) + v
+let base_vertex ~base_n x = x mod base_n
+let layer_of ~base_n x = (x / base_n) + 1
+
+let build params gp pair ~scale =
+  let n = G.n gp.graph in
+  let k = Array.length pair.Tau.b in
+  let layer_count = k + 1 in
+  let granule = params.Tau.granularity *. scale in
+  (* Matched edges that cross the bipartition, with their up-bucket. *)
+  let cross_matched =
+    M.fold
+      (fun acc e ->
+        let u, v = E.endpoints e in
+        if gp.side.(u) <> gp.side.(v) then
+          (e, Tau.bucket_up ~granule (E.weight e)) :: acc
+        else acc)
+      [] gp.matching
+  in
+  (* keep.(x) for layered vertices; X edges decide intermediate layers. *)
+  let keep = Array.make (layer_count * n) false in
+  let x_edges = ref [] in
+  for layer = 1 to layer_count do
+    let want = pair.Tau.a.(layer - 1) in
+    List.iter
+      (fun (e, bkt) ->
+        if bkt = want then begin
+          let u, v = E.endpoints e in
+          let lu = vertex_id ~base_n:n ~layer u
+          and lv = vertex_id ~base_n:n ~layer v in
+          keep.(lu) <- true;
+          keep.(lv) <- true;
+          if layer >= 2 && layer <= layer_count - 1 then
+            x_edges := E.make lu lv (E.weight e) :: !x_edges
+        end)
+      cross_matched
+  done;
+  (* First/last-layer free-vertex filtering: an endpoint vertex with no
+     surviving matched edge is kept only when it is M-free and the
+     corresponding threshold is 0. *)
+  for v = 0 to n - 1 do
+    let free = not (M.is_matched gp.matching v) in
+    (* Layer 1: starts are R-vertices. *)
+    let l1 = vertex_id ~base_n:n ~layer:1 v in
+    if (not keep.(l1)) && not gp.side.(v) then
+      if free && pair.Tau.a.(0) = 0 then keep.(l1) <- true;
+    (* Layer k+1: ends are L-vertices. *)
+    let lk = vertex_id ~base_n:n ~layer:layer_count v in
+    if (not keep.(lk)) && gp.side.(v) then
+      if free && pair.Tau.a.(layer_count - 1) = 0 then keep.(lk) <- true
+  done;
+  (* Between-layer (Y) edges: unmatched, R in layer t to L in layer t+1,
+     weight rounding down to tau^B_t. *)
+  let y_edges = ref [] in
+  G.iter_edges
+    (fun e ->
+      if not (M.mem gp.matching e) then begin
+        let u, v = E.endpoints e in
+        if gp.side.(u) <> gp.side.(v) then begin
+          let r, l = if gp.side.(u) then (v, u) else (u, v) in
+          let bkt = Tau.bucket_down ~granule (E.weight e) in
+          for t = 1 to k do
+            if pair.Tau.b.(t - 1) = bkt then begin
+              let lr = vertex_id ~base_n:n ~layer:t r
+              and ll = vertex_id ~base_n:n ~layer:(t + 1) l in
+              if keep.(lr) && keep.(ll) then
+                y_edges := E.make lr ll (E.weight e) :: !y_edges
+            end
+          done
+        end
+      end)
+    gp.graph;
+  let edges = List.rev_append !x_edges !y_edges in
+  let lgraph = G.create ~n:(layer_count * n) edges in
+  let init = M.of_edges (layer_count * n) !x_edges in
+  { base_n = n; layer_count; lgraph; init; pair; scale; side = gp.side }
+
+let left t x = t.side.(base_vertex ~base_n:t.base_n x)
+
+let edge_count t = G.m t.lgraph
+
+let augmenting_paths t m' =
+  let comps = M.symmetric_difference m' t.init in
+  List.filter
+    (fun comp ->
+      let m'_edges = List.length (List.filter (fun e -> M.mem m' e) comp) in
+      let init_edges = List.length (List.filter (fun e -> M.mem t.init e) comp) in
+      m'_edges = init_edges + 1)
+    comps

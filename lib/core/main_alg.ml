@@ -1,0 +1,89 @@
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+
+let log_src = Logs.Src.create "wm.main_alg" ~doc:"Algorithm 3 improvement rounds"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type round_stats = {
+  scales_tried : int;
+  augmentations_applied : int;
+  gain : int;
+  class_stats : (float * Aug_class.stats) list;
+}
+
+type run_stats = { rounds : round_stats list; final_weight : int }
+
+let scales_for params g =
+  let wmax = G.max_weight g in
+  if wmax = 0 then []
+  else begin
+    let upper = float_of_int (wmax * params.Params.max_layers) in
+    let all =
+      Weight_class.geometric_scales ~ratio:params.Params.class_ratio
+        ~max_value:upper
+    in
+    (* An unmatched edge needs bucket >= 2, i.e. w >= 2 g W; scales above
+       w_max / (2 g) host none and are pruned. *)
+    let cap = float_of_int wmax /. (2.0 *. params.Params.granularity) in
+    List.filter (fun w -> w <= cap) all
+  end
+
+let improve_once params rng g m =
+  let scales = scales_for params g in
+  (* Collect augmentations per scale against the round-start matching;
+     the k = 1 class (single-edge augmentations) is solved exactly and
+     swept first, as a pseudo-class of infinite scale. *)
+  let per_scale =
+    List.map (fun scale -> (scale, Aug_class.run params rng g m ~scale)) scales
+  in
+  let one_augs = Aug_class.one_augmentations g m in
+  (* Greedy cross-class selection, heaviest scale first (lines 5-8). *)
+  let used = Hashtbl.create 256 in
+  let applied = ref 0 and gain = ref 0 in
+  let select augs =
+    List.iter
+      (fun c ->
+        let touched = Aug.touched_vertices c m in
+        let clear = List.for_all (fun v -> not (Hashtbl.mem used v)) touched in
+        if clear && Aug.is_alternating c m then begin
+          let gc = Aug.gain c m in
+          if gc > 0 then begin
+            Aug.apply c m;
+            List.iter (fun v -> Hashtbl.replace used v ()) touched;
+            incr applied;
+            gain := !gain + gc
+          end
+        end)
+      augs
+  in
+  select one_augs;
+  let by_scale_desc =
+    List.sort (fun (w1, _) (w2, _) -> Float.compare w2 w1) per_scale
+  in
+  List.iter (fun (_scale, (augs, _)) -> select augs) by_scale_desc;
+  Log.debug (fun f ->
+      f "round: %d scales, %d augmentations, gain %d, weight %d"
+        (List.length scales) !applied !gain (M.weight m));
+  {
+    scales_tried = List.length scales;
+    augmentations_applied = !applied;
+    gain = !gain;
+    class_stats = List.map (fun (w, (_, s)) -> (w, s)) per_scale;
+  }
+
+let solve ?init ?(patience = 4) params rng g =
+  let m = match init with Some m -> M.copy m | None -> M.create (G.n g) in
+  let rounds = ref [] in
+  let dry = ref 0 in
+  let i = ref 0 in
+  (* Each round draws a fresh random bipartition, which captures any
+     fixed augmentation only with constant probability; stop after
+     [patience] consecutive fruitless rounds rather than the first. *)
+  while !dry < patience && !i < params.Params.max_iterations do
+    let r = improve_once params rng g m in
+    rounds := r :: !rounds;
+    incr i;
+    if r.gain = 0 then incr dry else dry := 0
+  done;
+  (m, { rounds = List.rev !rounds; final_weight = M.weight m })

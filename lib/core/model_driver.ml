@@ -1,0 +1,82 @@
+module M = Wm_graph.Matching
+module G = Wm_graph.Weighted_graph
+module S = Wm_stream.Edge_stream
+
+type streaming_result = {
+  matching : M.t;
+  passes : int;
+  peak_edges : int;
+  rounds_run : int;
+}
+
+let round_memory (r : Main_alg.round_stats) =
+  List.fold_left
+    (fun acc (_, (s : Aug_class.stats)) -> acc + s.Aug_class.layered_edges)
+    0 r.Main_alg.class_stats
+
+let streaming ?(patience = 4) params rng stream =
+  let g = S.to_ordered_graph stream in
+  let n = G.n g in
+  let m = M.create n in
+  let peak = ref 0 in
+  let dry = ref 0 and i = ref 0 in
+  while !dry < patience && !i < params.Params.max_iterations do
+    (* One pass feeds every (W, tau) filter; the black-box instances
+       then run in parallel over the same stream, so the round's pass
+       bill is the measured pass count of the slowest instance. *)
+    S.charge_passes stream 1;
+    let r = Main_alg.improve_once params rng g m in
+    let bb_passes =
+      List.fold_left
+        (fun acc (_, (s : Aug_class.stats)) ->
+          Stdlib.max acc s.Aug_class.black_box_passes)
+        0 r.Main_alg.class_stats
+    in
+    S.charge_passes stream bb_passes;
+    peak := Stdlib.max !peak (round_memory r + M.size m);
+    incr i;
+    if r.Main_alg.gain = 0 then incr dry else dry := 0
+  done;
+  { matching = m; passes = S.passes stream; peak_edges = !peak; rounds_run = !i }
+
+type mpc_result = {
+  matching : M.t;
+  rounds : int;
+  peak_machine_memory : int;
+  machines : int;
+  rounds_run : int;
+}
+
+let mpc ?(patience = 4) params rng cluster g =
+  let module C = Wm_mpc.Cluster in
+  let n = G.n g in
+  let m = M.create n in
+  (* Initial placement of the edge set across machines. *)
+  ignore (C.scatter cluster (G.edges g));
+  let dry = ref 0 and i = ref 0 in
+  while !dry < patience && !i < params.Params.max_iterations do
+    (* Section 4.4 choreography: broadcast the bipartition and the
+       current matching, run the black box on every instance in
+       parallel, gather the augmentations on one machine. *)
+    C.broadcast cluster ~words:(n + (2 * M.size m));
+    let r = Main_alg.improve_once params rng g m in
+    (* Each (W, tau) instance must fit one machine; charge the largest. *)
+    List.iter
+      (fun (_, (s : Aug_class.stats)) ->
+        if s.Aug_class.pairs_tried > 0 then
+          C.check_load cluster ~machine:0
+            ~words:(s.Aug_class.layered_edges / Stdlib.max 1 s.Aug_class.pairs_tried))
+      r.Main_alg.class_stats;
+    C.charge_rounds cluster
+      (Wm_algos.Approx_bipartite.round_charge ~delta:params.Params.delta ~n);
+    C.charge_rounds cluster 1 (* gather augmentations *);
+    incr i;
+    if r.Main_alg.gain = 0 then incr dry else dry := 0
+  done;
+  {
+    matching = m;
+    rounds = C.rounds cluster;
+    peak_machine_memory = C.peak_machine_memory cluster;
+    machines = C.machines cluster;
+    rounds_run = !i;
+  }

@@ -1,0 +1,53 @@
+(** Model instantiations of the [(1 - eps)] reduction (Theorem 1.2).
+
+    The computation is the one performed by {!Main_alg}; what the
+    drivers add is the {e model accounting} of Theorem 4.1's
+    implementation sections:
+
+    - streaming: each improvement round costs one pass to materialise
+      the filters plus [U_S = pass_charge delta] passes for the
+      black-box invocations, which all run in parallel across the
+      [(W, tau)] instances; retained memory is metered as the layered
+      graphs' edges plus the matching;
+    - MPC: each round costs the scatter/broadcast/gather choreography of
+      Section 4.4 plus [U_M = round_charge delta n] rounds for the
+      black box; per-machine memory is checked against the cluster
+      capacity.
+
+    See DESIGN.md (black-box accounting) for why charges are metered
+    rather than induced by a native streaming/MPC execution. *)
+
+type streaming_result = {
+  matching : Wm_graph.Matching.t;
+  passes : int;  (** total stream passes charged *)
+  peak_edges : int;  (** peak retained edges across instances *)
+  rounds_run : int;  (** improvement rounds executed *)
+}
+
+val streaming :
+  ?patience:int ->
+  Params.t ->
+  Wm_graph.Prng.t ->
+  Wm_stream.Edge_stream.t ->
+  streaming_result
+(** Multi-pass streaming [(1 - eps)]-approximate weighted matching
+    (Theorem 1.2.2). *)
+
+type mpc_result = {
+  matching : Wm_graph.Matching.t;
+  rounds : int;  (** MPC rounds charged *)
+  peak_machine_memory : int;
+  machines : int;
+  rounds_run : int;
+}
+
+val mpc :
+  ?patience:int ->
+  Params.t ->
+  Wm_graph.Prng.t ->
+  Wm_mpc.Cluster.t ->
+  Wm_graph.Weighted_graph.t ->
+  mpc_result
+(** MPC [(1 - eps)]-approximate weighted matching (Theorem 1.2.1).
+    Raises {!Wm_mpc.Cluster.Memory_exceeded} if a shard or broadcast
+    exceeds machine memory. *)

@@ -1,0 +1,186 @@
+type params = { granularity : float; max_layers : int; slack : float }
+
+let make_params ~granularity ~max_layers ~slack =
+  if granularity <= 0.0 || granularity > 1.0 then
+    invalid_arg "Tau.make_params: granularity must be in (0, 1]";
+  if max_layers < 2 then invalid_arg "Tau.make_params: max_layers < 2";
+  if slack < 0.0 then invalid_arg "Tau.make_params: negative slack";
+  { granularity; max_layers; slack }
+
+let max_granules p = int_of_float ((1.0 +. p.slack) /. p.granularity)
+
+type pair = { a : int array; b : int array }
+
+let layers pair = Array.length pair.a
+
+let sum = Array.fold_left ( + ) 0
+
+let is_good p pair =
+  let la = Array.length pair.a and lb = Array.length pair.b in
+  la >= 2 && la <= p.max_layers
+  && lb = la - 1
+  && Array.for_all (fun x -> x >= 0) pair.a
+  && Array.for_all (fun x -> x >= 2) pair.b
+  && (let interior_ok = ref true in
+      for i = 1 to la - 2 do
+        if pair.a.(i) < 2 then interior_ok := false
+      done;
+      !interior_ok)
+  && sum pair.b <= max_granules p
+  && sum pair.b - sum pair.a >= 1
+
+(* Small tolerance absorbs float noise in w / granule at exact bucket
+   boundaries. *)
+let tol = 1e-9
+
+let bucket_up ~granule w =
+  if granule <= 0.0 then invalid_arg "Tau.bucket_up: granule <= 0";
+  if w <= 0 then 0
+  else int_of_float (Float.ceil ((float_of_int w /. granule) -. tol))
+
+let bucket_down ~granule w =
+  if granule <= 0.0 then invalid_arg "Tau.bucket_down: granule <= 0";
+  if w <= 0 then 0
+  else int_of_float (Float.floor ((float_of_int w /. granule) +. tol))
+
+let dedup pairs =
+  let tbl = Hashtbl.create (List.length pairs) in
+  List.filter
+    (fun pr ->
+      let key = (Array.to_list pr.a, Array.to_list pr.b) in
+      if Hashtbl.mem tbl key then false
+      else begin
+        Hashtbl.add tbl key ();
+        true
+      end)
+    pairs
+
+let enumerate p ~max_pairs =
+  let budget = max_granules p in
+  let out = ref [] in
+  let count = ref 0 in
+  let emit pr =
+    if !count < max_pairs then begin
+      out := pr :: !out;
+      incr count
+    end
+  in
+  (* DFS over interleaved a/b slots: a_1, b_1, a_2, b_2, ..., a_(k+1).
+     Prune on the b-budget (E) and the a-sum implied by (F)
+     (sum a <= sum b - 1 <= budget - 1); check (F) at the leaves. *)
+  let rec go k a_rev b_rev a_sum b_sum =
+    if !count >= max_pairs then ()
+    else begin
+      let la = List.length a_rev in
+      let lb = List.length b_rev in
+      if la = k + 1 && lb = k then begin
+        let pr = { a = Array.of_list (List.rev a_rev); b = Array.of_list (List.rev b_rev) } in
+        if is_good p pr then emit pr
+      end
+      else if la = lb then
+        (* Next slot is an a-value: 0 allowed at the ends. *)
+        let lo = if la = 0 || la = k then 0 else 2 in
+        for v = lo to budget - 1 - a_sum do
+          go k (v :: a_rev) b_rev (a_sum + v) b_sum
+        done
+      else
+        (* Next slot is a b-value: at least 2 granules. *)
+        for v = 2 to budget - b_sum do
+          go k a_rev (v :: b_rev) a_sum (b_sum + v)
+        done
+    end
+  in
+  let max_k = p.max_layers - 1 in
+  for k = 1 to max_k do
+    go k [] [] 0 0
+  done;
+  List.rev !out
+
+let enumerate_k1 p ~a_values ~b_values =
+  let ends = 0 :: List.sort_uniq Int.compare a_values in
+  let bs = List.sort_uniq Int.compare b_values in
+  let out = ref [] in
+  List.iter
+    (fun a1 ->
+      List.iter
+        (fun a2 ->
+          List.iter
+            (fun b1 ->
+              let pr = { a = [| a1; a2 |]; b = [| b1 |] } in
+              if is_good p pr then out := pr :: !out)
+            bs)
+        ends)
+    ends;
+  List.rev !out
+
+let homogeneous p ~a_values ~b_values =
+  let avs = List.sort_uniq Int.compare a_values in
+  let bs = List.sort_uniq Int.compare b_values in
+  let out = ref [] in
+  for k = 1 to p.max_layers - 1 do
+    List.iter
+      (fun av ->
+        List.iter
+          (fun bv ->
+            List.iter
+              (fun (first, last) ->
+                let a =
+                  Array.init (k + 1) (fun i ->
+                      if i = 0 then first else if i = k then last else av)
+                in
+                let pr = { a; b = Array.make k bv } in
+                if is_good p pr then out := pr :: !out)
+              [ (av, av); (0, av); (av, 0); (0, 0) ])
+          bs)
+      avs
+  done;
+  dedup (List.rev !out)
+
+let sample p rng ~a_values ~b_values ~count =
+  let avs = Array.of_list (List.sort_uniq Int.compare (0 :: a_values)) in
+  let interior = Array.of_list (List.filter (fun v -> v >= 2) a_values) in
+  let bs = Array.of_list (List.sort_uniq Int.compare b_values) in
+  if Array.length bs = 0 then []
+  else begin
+    let out = ref [] in
+    for _ = 1 to count do
+      let k = 1 + Wm_graph.Prng.int rng (p.max_layers - 1) in
+      if k = 1 || Array.length interior > 0 then begin
+        let pick arr = arr.(Wm_graph.Prng.int rng (Array.length arr)) in
+        let a =
+          Array.init (k + 1) (fun i ->
+              if i = 0 || i = k then pick avs else pick interior)
+        in
+        let b = Array.init k (fun _ -> pick bs) in
+        let pr = { a; b } in
+        if is_good p pr then out := pr :: !out
+      end
+    done;
+    dedup (List.rev !out)
+  end
+
+let capture_path p ~a_buckets ~b_buckets =
+  let pr = { a = Array.of_list a_buckets; b = Array.of_list b_buckets } in
+  if is_good p pr then Some pr else None
+
+let capture_cycle p ~a_buckets ~b_buckets ~repetitions =
+  if repetitions < 1 then invalid_arg "Tau.capture_cycle: repetitions < 1";
+  match a_buckets with
+  | [] -> None
+  | first_a :: _ ->
+      let repeat l =
+        let rec go acc i = if i = 0 then acc else go (acc @ l) (i - 1) in
+        go [] repetitions
+      in
+      let a = repeat a_buckets @ [ first_a ] in
+      let b = repeat b_buckets in
+      let pr = { a = Array.of_list a; b = Array.of_list b } in
+      if is_good p pr then Some pr else None
+
+let pp ppf pair =
+  let pp_arr ppf arr =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+      Format.pp_print_int ppf (Array.to_list arr)
+  in
+  Format.fprintf ppf "a=[%a] b=[%a]" pp_arr pair.a pp_arr pair.b

@@ -1,0 +1,109 @@
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+
+(* Edmonds' algorithm with blossom contraction via base pointers
+   (the classic array formulation).  For each free vertex we grow an
+   alternating tree, contracting odd cycles (blossoms) by redirecting
+   [base] pointers, until an augmenting path is found or the tree is
+   exhausted. *)
+let solve g =
+  let n = G.n g in
+  let adj = Array.init n (fun v -> List.map fst (G.neighbors g v)) in
+  let mate = Array.make n (-1) in
+  let p = Array.make n (-1) in
+  let base = Array.init n (fun i -> i) in
+  let used = Array.make n false in
+  let blossom = Array.make n false in
+  let queue = Queue.create () in
+  let lca_mark = Array.make n false in
+  let lca a b =
+    Array.fill lca_mark 0 n false;
+    let rec mark a =
+      let a = base.(a) in
+      lca_mark.(a) <- true;
+      if mate.(a) <> -1 then mark p.(mate.(a))
+    in
+    mark a;
+    let rec seek b =
+      let b = base.(b) in
+      if lca_mark.(b) then b else seek p.(mate.(b))
+    in
+    seek b
+  in
+  let rec mark_path v b child =
+    if base.(v) <> b then begin
+      blossom.(base.(v)) <- true;
+      blossom.(base.(mate.(v))) <- true;
+      p.(v) <- child;
+      mark_path p.(mate.(v)) b mate.(v)
+    end
+  in
+  let find_path root =
+    Array.fill used 0 n false;
+    Array.fill p 0 n (-1);
+    for i = 0 to n - 1 do
+      base.(i) <- i
+    done;
+    used.(root) <- true;
+    Queue.clear queue;
+    Queue.add root queue;
+    let augment_end = ref (-1) in
+    while !augment_end = -1 && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun u ->
+          if !augment_end = -1 && base.(v) <> base.(u) && mate.(v) <> u then
+            if u = root || (mate.(u) <> -1 && p.(mate.(u)) <> -1) then begin
+              (* Odd cycle through the tree root or an inner vertex:
+                 contract the blossom. *)
+              let curbase = lca v u in
+              Array.fill blossom 0 n false;
+              mark_path v curbase u;
+              mark_path u curbase v;
+              for i = 0 to n - 1 do
+                if blossom.(base.(i)) then begin
+                  base.(i) <- curbase;
+                  if not used.(i) then begin
+                    used.(i) <- true;
+                    Queue.add i queue
+                  end
+                end
+              done
+            end
+            else if p.(u) = -1 then begin
+              p.(u) <- v;
+              if mate.(u) = -1 then augment_end := u
+              else begin
+                used.(mate.(u)) <- true;
+                Queue.add mate.(u) queue
+              end
+            end)
+        adj.(v)
+    done;
+    match !augment_end with
+    | -1 -> false
+    | u ->
+        (* Flip matched/unmatched edges along the alternating path. *)
+        let rec flip u =
+          if u <> -1 then begin
+            let pv = p.(u) in
+            let ppv = mate.(pv) in
+            mate.(u) <- pv;
+            mate.(pv) <- u;
+            flip ppv
+          end
+        in
+        flip u;
+        true
+  in
+  for v = 0 to n - 1 do
+    if mate.(v) = -1 then ignore (find_path v)
+  done;
+  let m = M.create n in
+  for v = 0 to n - 1 do
+    if mate.(v) > v then
+      match G.find_edge g v mate.(v) with
+      | Some e -> M.add m e
+      | None -> assert false
+  done;
+  m

@@ -1,0 +1,9 @@
+(** Maximum-cardinality matching in general graphs (Edmonds' blossom
+    algorithm, O(n^3)).
+
+    Ground truth for the unweighted experiments on non-bipartite graphs
+    (experiment T2). *)
+
+val solve : Wm_graph.Weighted_graph.t -> Wm_graph.Matching.t
+(** [solve g] is a maximum-cardinality matching of [g] (edge weights are
+    ignored for the objective but preserved in the returned matching). *)

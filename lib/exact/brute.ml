@@ -1,0 +1,78 @@
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+module E = Wm_graph.Edge
+
+let max_vertices = 24
+
+(* best.(mask) = max weight of a matching inside vertex set [mask];
+   computed lazily.  The recurrence peels the lowest vertex of the mask:
+   either it stays unmatched, or it is matched to some neighbour in the
+   mask. *)
+let table g =
+  let n = G.n g in
+  if n > max_vertices then invalid_arg "Brute.solve: graph too large";
+  let best = Hashtbl.create 1024 in
+  let rec go mask =
+    if mask = 0 then 0
+    else
+      match Hashtbl.find_opt best mask with
+      | Some v -> v
+      | None ->
+          let v = lowest_bit_index mask in
+          let without = go (mask land lnot (1 lsl v)) in
+          let best_here =
+            List.fold_left
+              (fun acc (u, e) ->
+                if mask land (1 lsl u) <> 0 then
+                  let rest = mask land lnot (1 lsl v) land lnot (1 lsl u) in
+                  Stdlib.max acc (E.weight e + go rest)
+                else acc)
+              without (G.neighbors g v)
+          in
+          Hashtbl.replace best mask best_here;
+          best_here
+  and lowest_bit_index mask =
+    let rec loop i = if mask land (1 lsl i) <> 0 then i else loop (i + 1) in
+    loop 0
+  in
+  go
+
+let optimum_weight g =
+  let n = G.n g in
+  if n = 0 then 0 else table g ((1 lsl n) - 1)
+
+let solve g =
+  let n = G.n g in
+  let go = table g in
+  let m = M.create n in
+  (* Reconstruct by replaying the DP decisions. *)
+  let rec build mask =
+    if mask <> 0 then begin
+      let v =
+        let rec loop i = if mask land (1 lsl i) <> 0 then i else loop (i + 1) in
+        loop 0
+      in
+      let total = go mask in
+      let without_mask = mask land lnot (1 lsl v) in
+      if go without_mask = total then build without_mask
+      else begin
+        let chosen =
+          List.find_map
+            (fun (u, e) ->
+              if
+                mask land (1 lsl u) <> 0
+                && E.weight e + go (without_mask land lnot (1 lsl u)) = total
+              then Some (u, e)
+              else None)
+            (G.neighbors g v)
+        in
+        match chosen with
+        | Some (u, e) ->
+            M.add m e;
+            build (without_mask land lnot (1 lsl u))
+        | None -> assert false
+      end
+    end
+  in
+  if n > 0 then build ((1 lsl n) - 1);
+  m

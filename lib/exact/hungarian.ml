@@ -1,0 +1,105 @@
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+module E = Wm_graph.Edge
+
+(* Classic O(rows * cols^2) assignment with row/column potentials
+   (the e-maxx formulation), minimising cost = -weight so that the
+   minimum-cost assignment is the maximum-weight matching.  Missing
+   edges cost 0, i.e. they are weight-0 virtual edges. *)
+let assignment cost rows cols =
+  let inf = max_int / 4 in
+  let u = Array.make (rows + 1) 0 in
+  let v = Array.make (cols + 1) 0 in
+  let p = Array.make (cols + 1) 0 in
+  let way = Array.make (cols + 1) 0 in
+  for i = 1 to rows do
+    p.(0) <- i;
+    let j0 = ref 0 in
+    let minv = Array.make (cols + 1) inf in
+    let used = Array.make (cols + 1) false in
+    let continue = ref true in
+    while !continue do
+      used.(!j0) <- true;
+      let i0 = p.(!j0) in
+      let delta = ref inf in
+      let j1 = ref 0 in
+      for j = 1 to cols do
+        if not used.(j) then begin
+          let cur = cost i0 j - u.(i0) - v.(j) in
+          if cur < minv.(j) then begin
+            minv.(j) <- cur;
+            way.(j) <- !j0
+          end;
+          if minv.(j) < !delta then begin
+            delta := minv.(j);
+            j1 := j
+          end
+        end
+      done;
+      for j = 0 to cols do
+        if used.(j) then begin
+          u.(p.(j)) <- u.(p.(j)) + !delta;
+          v.(j) <- v.(j) - !delta
+        end
+        else minv.(j) <- minv.(j) - !delta
+      done;
+      j0 := !j1;
+      if p.(!j0) = 0 then continue := false
+    done;
+    (* Unwind the alternating tree. *)
+    let j0 = ref !j0 in
+    while !j0 <> 0 do
+      let j1 = way.(!j0) in
+      p.(!j0) <- p.(j1);
+      j0 := j1
+    done
+  done;
+  p
+
+let solve g ~left =
+  let n = G.n g in
+  G.iter_edges
+    (fun e ->
+      let u, v = E.endpoints e in
+      if left u = left v then
+        invalid_arg "Hungarian.solve: edge does not cross the bipartition")
+    g;
+  let lefts = ref [] and rights = ref [] in
+  for v = n - 1 downto 0 do
+    if G.degree g v > 0 then
+      if left v then lefts := v :: !lefts else rights := v :: !rights
+  done;
+  let lefts = Array.of_list !lefts and rights = Array.of_list !rights in
+  (* Rows must not outnumber columns; swap sides if needed. *)
+  let rows_v, cols_v =
+    if Array.length lefts <= Array.length rights then (lefts, rights)
+    else (rights, lefts)
+  in
+  let rows = Array.length rows_v and cols = Array.length cols_v in
+  let m = M.create n in
+  if rows = 0 then m
+  else begin
+    let col_index = Hashtbl.create cols in
+    Array.iteri (fun j v -> Hashtbl.replace col_index v (j + 1)) cols_v;
+    (* Dense cost table, 1-indexed. *)
+    let table = Array.make_matrix (rows + 1) (cols + 1) 0 in
+    Array.iteri
+      (fun i rv ->
+        G.iter_neighbors g rv (fun cv e ->
+            match Hashtbl.find_opt col_index cv with
+            | Some j -> table.(i + 1).(j) <- -E.weight e
+            | None -> assert false))
+      rows_v;
+    let cost i j = table.(i).(j) in
+    let p = assignment cost rows cols in
+    for j = 1 to cols do
+      let i = p.(j) in
+      if i > 0 && table.(i).(j) < 0 then begin
+        let rv = rows_v.(i - 1) and cv = cols_v.(j - 1) in
+        match G.find_edge g rv cv with
+        | Some e -> M.add m e
+        | None -> assert false
+      end
+    done;
+    m
+  end

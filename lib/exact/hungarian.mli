@@ -1,0 +1,13 @@
+(** Exact maximum-weight bipartite matching (Hungarian / Jonker–Volgenant
+    potentials, O(n^3)).
+
+    The matching need not be perfect: missing pairs behave as zero-weight
+    virtual edges, which is optimal to leave unmatched since real weights
+    are positive.  Serves as the ground-truth [M*] for all bipartite
+    experiment rows. *)
+
+val solve :
+  Wm_graph.Weighted_graph.t -> left:(int -> bool) -> Wm_graph.Matching.t
+(** [solve g ~left] is an exact maximum-weight matching of bipartite [g].
+    Raises [Invalid_argument] if some edge does not cross the
+    bipartition. *)

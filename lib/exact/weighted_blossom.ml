@@ -1,0 +1,547 @@
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+module E = Wm_graph.Edge
+
+(* Port of Van Rantwijk's maximum-weight matching (itself an
+   implementation of Galil's O(n^3) algorithm).  Conventions:
+
+   - edge k has endpoints ends.(2k) and ends.(2k+1); an "endpoint" p is
+     an index into [ends], so [p lxor 1] is the other end of p's edge
+     and [p / 2] recovers the edge;
+   - blossoms are numbered n..2n-1; [inblossom.(v)] is the top-level
+     blossom (or vertex) containing v;
+   - labels: 0 free, 1 = S, 2 = T, 5 = S seen by scan_blossom;
+   - weights are doubled so all dual adjustments are integral. *)
+
+let solve_mate g =
+  let nvertex = G.n g in
+  let edges = G.edges g in
+  let nedge = Array.length edges in
+  let ev = Array.make nedge 0 and ew = Array.make nedge 0 in
+  let wt = Array.make nedge 0 in
+  Array.iteri
+    (fun k e ->
+      let u, v = E.endpoints e in
+      ev.(k) <- u;
+      ew.(k) <- v;
+      wt.(k) <- 2 * E.weight e)
+    edges;
+  if nedge = 0 || nvertex = 0 then Array.make (Stdlib.max 1 nvertex) (-1)
+  else begin
+    let maxweight = Array.fold_left Stdlib.max 0 wt in
+    let ends = Array.make (2 * nedge) 0 in
+    for k = 0 to nedge - 1 do
+      ends.(2 * k) <- ev.(k);
+      ends.((2 * k) + 1) <- ew.(k)
+    done;
+    (* neighbend.(v): remote endpoints of edges incident to v. *)
+    let neighbend = Array.make nvertex [] in
+    for k = nedge - 1 downto 0 do
+      neighbend.(ev.(k)) <- ((2 * k) + 1) :: neighbend.(ev.(k));
+      neighbend.(ew.(k)) <- (2 * k) :: neighbend.(ew.(k))
+    done;
+    let mate = Array.make nvertex (-1) in
+    let label = Array.make (2 * nvertex) 0 in
+    let labelend = Array.make (2 * nvertex) (-1) in
+    let inblossom = Array.init nvertex Fun.id in
+    let blossomparent = Array.make (2 * nvertex) (-1) in
+    let blossomchilds : int array option array = Array.make (2 * nvertex) None in
+    let blossombase =
+      Array.init (2 * nvertex) (fun i -> if i < nvertex then i else -1)
+    in
+    let blossomendps : int array option array = Array.make (2 * nvertex) None in
+    let bestedge = Array.make (2 * nvertex) (-1) in
+    let blossombestedges : int list option array = Array.make (2 * nvertex) None in
+    let unusedblossoms = ref (List.init nvertex (fun i -> nvertex + i)) in
+    let dualvar =
+      Array.init (2 * nvertex) (fun i -> if i < nvertex then maxweight else 0)
+    in
+    let allowedge = Array.make nedge false in
+    let queue = ref [] in
+
+    let slack k = dualvar.(ev.(k)) + dualvar.(ew.(k)) - (2 * wt.(k)) in
+
+    let rec iter_leaves b f =
+      if b < nvertex then f b
+      else
+        match blossomchilds.(b) with
+        | Some childs -> Array.iter (fun t -> iter_leaves t f) childs
+        | None -> assert false
+    in
+
+    let rec assign_label w t p =
+      let b = inblossom.(w) in
+      assert (label.(w) = 0 && label.(b) = 0);
+      label.(w) <- t;
+      label.(b) <- t;
+      labelend.(w) <- p;
+      labelend.(b) <- p;
+      bestedge.(w) <- -1;
+      bestedge.(b) <- -1;
+      if t = 1 then iter_leaves b (fun v -> queue := v :: !queue)
+      else if t = 2 then begin
+        let base = blossombase.(b) in
+        assert (mate.(base) >= 0);
+        assign_label ends.(mate.(base)) 1 (mate.(base) lxor 1)
+      end
+    in
+
+    (* Trace back from both v and w to find the closest common ancestor
+       (base of a new blossom); -1 means the paths hit distinct roots
+       and the edge closes an augmenting path instead. *)
+    let scan_blossom v w =
+      let path = ref [] in
+      let base = ref (-1) in
+      let v = ref v and w = ref w in
+      (try
+         while !v <> -1 || !w <> -1 do
+           let b = ref inblossom.(!v) in
+           if label.(!b) land 4 <> 0 then begin
+             base := blossombase.(!b);
+             raise Exit
+           end;
+           assert (label.(!b) = 1);
+           path := !b :: !path;
+           label.(!b) <- 5;
+           assert (labelend.(!b) = mate.(blossombase.(!b)));
+           if labelend.(!b) = -1 then v := -1
+           else begin
+             v := ends.(labelend.(!b));
+             b := inblossom.(!v);
+             assert (label.(!b) = 2);
+             assert (labelend.(!b) >= 0);
+             v := ends.(labelend.(!b))
+           end;
+           if !w <> -1 then begin
+             let tmp = !v in
+             v := !w;
+             w := tmp
+           end
+         done
+       with Exit -> ());
+      List.iter (fun b -> label.(b) <- 1) !path;
+      !base
+    in
+
+    let add_blossom base k =
+      let v = ref ev.(k) and w = ref ew.(k) in
+      let bb = inblossom.(base) in
+      let bv = ref inblossom.(!v) and bw = ref inblossom.(!w) in
+      let b = match !unusedblossoms with x :: tl -> unusedblossoms := tl; x | [] -> assert false in
+      blossombase.(b) <- base;
+      blossomparent.(b) <- -1;
+      blossomparent.(bb) <- b;
+      let path = ref [] and endps = ref [] in
+      (* Trace from v up to the base. *)
+      while !bv <> bb do
+        blossomparent.(!bv) <- b;
+        path := !bv :: !path;
+        endps := labelend.(!bv) :: !endps;
+        assert
+          (label.(!bv) = 2
+          || (label.(!bv) = 1 && labelend.(!bv) = mate.(blossombase.(!bv))));
+        assert (labelend.(!bv) >= 0);
+        v := ends.(labelend.(!bv));
+        bv := inblossom.(!v)
+      done;
+      (* The v-loop prepended, so !path = [bv_m; ...; bv_1] and
+         !endps = [le(bv_m); ...; le(bv_1)] — already in base-to-v
+         order once bb is put in front; the closing endpoint 2k joins
+         the two S-vertices. *)
+      let path_list = ref (bb :: !path) in
+      let endps_list = ref (!endps @ [ 2 * k ]) in
+      (* Trace from w up to the base. *)
+      while !bw <> bb do
+        blossomparent.(!bw) <- b;
+        path_list := !path_list @ [ !bw ];
+        endps_list := !endps_list @ [ labelend.(!bw) lxor 1 ];
+        assert
+          (label.(!bw) = 2
+          || (label.(!bw) = 1 && labelend.(!bw) = mate.(blossombase.(!bw))));
+        assert (labelend.(!bw) >= 0);
+        w := ends.(labelend.(!bw));
+        bw := inblossom.(!w)
+      done;
+      assert (label.(bb) = 1);
+      label.(b) <- 1;
+      labelend.(b) <- labelend.(bb);
+      dualvar.(b) <- 0;
+      let childs = Array.of_list !path_list in
+      let bendps = Array.of_list !endps_list in
+      blossomchilds.(b) <- Some childs;
+      blossomendps.(b) <- Some bendps;
+      iter_leaves b (fun v ->
+          if label.(inblossom.(v)) = 2 then queue := v :: !queue;
+          inblossom.(v) <- b);
+      (* Recompute best-edge lists for delta-3. *)
+      let bestedgeto = Array.make (2 * nvertex) (-1) in
+      Array.iter
+        (fun bv ->
+          let nblists =
+            match blossombestedges.(bv) with
+            | Some l -> [ l ]
+            | None ->
+                let acc = ref [] in
+                iter_leaves bv (fun v ->
+                    acc := List.map (fun p -> p / 2) neighbend.(v) :: !acc);
+                !acc
+          in
+          List.iter
+            (fun nblist ->
+              List.iter
+                (fun k ->
+                  let i = ref ev.(k) and j = ref ew.(k) in
+                  if inblossom.(!j) = b then begin
+                    let tmp = !i in
+                    i := !j;
+                    j := tmp
+                  end;
+                  let bj = inblossom.(!j) in
+                  if
+                    bj <> b && label.(bj) = 1
+                    && (bestedgeto.(bj) = -1 || slack k < slack bestedgeto.(bj))
+                  then bestedgeto.(bj) <- k)
+                nblist)
+            nblists;
+          blossombestedges.(bv) <- None;
+          bestedge.(bv) <- -1)
+        childs;
+      let bel =
+        Array.to_list bestedgeto |> List.filter (fun k -> k <> -1)
+      in
+      blossombestedges.(b) <- Some bel;
+      bestedge.(b) <- -1;
+      List.iter
+        (fun k ->
+          if bestedge.(b) = -1 || slack k < slack bestedge.(b) then
+            bestedge.(b) <- k)
+        bel
+    in
+
+    let rec expand_blossom b endstage =
+      let childs = match blossomchilds.(b) with Some c -> c | None -> assert false in
+      let bendps = match blossomendps.(b) with Some e -> e | None -> assert false in
+      Array.iter
+        (fun s ->
+          blossomparent.(s) <- -1;
+          if s < nvertex then inblossom.(s) <- s
+          else if endstage && dualvar.(s) = 0 then expand_blossom s endstage
+          else iter_leaves s (fun v -> inblossom.(v) <- s))
+        childs;
+      (* If the blossom is being expanded during a stage with label T,
+         relabel the even path to the entry child and leave the rest. *)
+      if (not endstage) && label.(b) = 2 then begin
+        assert (labelend.(b) >= 0);
+        let entrychild = inblossom.(ends.(labelend.(b) lxor 1)) in
+        let len = Array.length childs in
+        let idx = ref 0 in
+        Array.iteri (fun i c -> if c = entrychild then idx := i) childs;
+        let j = ref !idx in
+        let jstep, endptrick =
+          if !idx land 1 <> 0 then begin
+            j := !idx - len;
+            (1, 0)
+          end
+          else (-1, 1)
+        in
+        let get arr i = arr.(if i < 0 then i + len else i) in
+        let p = ref labelend.(b) in
+        while !j <> 0 do
+          label.(ends.(!p lxor 1)) <- 0;
+          label.(ends.(get bendps (!j - endptrick) lxor endptrick lxor 1)) <- 0;
+          assign_label ends.(!p lxor 1) 2 !p;
+          allowedge.(get bendps (!j - endptrick) / 2) <- true;
+          j := !j + jstep;
+          p := get bendps (!j - endptrick) lxor endptrick;
+          allowedge.(!p / 2) <- true;
+          j := !j + jstep
+        done;
+        let bv = get childs !j in
+        label.(ends.(!p lxor 1)) <- 2;
+        label.(bv) <- 2;
+        labelend.(ends.(!p lxor 1)) <- !p;
+        labelend.(bv) <- !p;
+        bestedge.(bv) <- -1;
+        j := !j + jstep;
+        while get childs !j <> entrychild do
+          let bv = get childs !j in
+          if label.(bv) = 1 then j := !j + jstep
+          else begin
+            let found = ref (-1) in
+            (try
+               iter_leaves bv (fun v ->
+                   if label.(v) <> 0 then begin
+                     found := v;
+                     raise Exit
+                   end)
+             with Exit -> ());
+            if !found <> -1 then begin
+              let v = !found in
+              assert (label.(v) = 2);
+              assert (inblossom.(v) = bv);
+              label.(v) <- 0;
+              label.(ends.(mate.(blossombase.(bv)))) <- 0;
+              assign_label v 2 labelend.(v)
+            end;
+            j := !j + jstep
+          end
+        done
+      end;
+      label.(b) <- -1;
+      labelend.(b) <- -1;
+      blossomchilds.(b) <- None;
+      blossomendps.(b) <- None;
+      blossombase.(b) <- -1;
+      blossombestedges.(b) <- None;
+      bestedge.(b) <- -1;
+      unusedblossoms := b :: !unusedblossoms
+    in
+
+    (* Swap matched/unmatched edges over the alternating path through
+       blossom b between its base and vertex v. *)
+    let rec augment_blossom b v =
+      let t = ref v in
+      while blossomparent.(!t) <> b do
+        t := blossomparent.(!t)
+      done;
+      if !t >= nvertex then augment_blossom !t v;
+      let childs = match blossomchilds.(b) with Some c -> c | None -> assert false in
+      let bendps = match blossomendps.(b) with Some e -> e | None -> assert false in
+      let len = Array.length childs in
+      let i = ref 0 in
+      Array.iteri (fun idx c -> if c = !t then i := idx) childs;
+      let j = ref !i in
+      let jstep, endptrick =
+        if !i land 1 <> 0 then begin
+          j := !i - len;
+          (1, 0)
+        end
+        else (-1, 1)
+      in
+      let get arr idx = arr.(if idx < 0 then idx + len else idx) in
+      while !j <> 0 do
+        j := !j + jstep;
+        let t = get childs !j in
+        let p = get bendps (!j - endptrick) lxor endptrick in
+        if t >= nvertex then augment_blossom t ends.(p);
+        j := !j + jstep;
+        let t = get childs !j in
+        if t >= nvertex then augment_blossom t ends.(p lxor 1);
+        mate.(ends.(p)) <- p lxor 1;
+        mate.(ends.(p lxor 1)) <- p
+      done;
+      (* Rotate child lists so the new base comes first. *)
+      let rotate arr k =
+        let len = Array.length arr in
+        Array.init len (fun idx -> arr.((idx + k) mod len))
+      in
+      blossomchilds.(b) <- Some (rotate childs !i);
+      blossomendps.(b) <- Some (rotate bendps !i);
+      blossombase.(b) <- blossombase.((match blossomchilds.(b) with Some c -> c.(0) | None -> assert false));
+      assert (blossombase.(b) = v)
+    in
+
+    let augment_matching k =
+      List.iter
+        (fun (s0, p0) ->
+          let s = ref s0 and p = ref p0 in
+          let continue_walk = ref true in
+          while !continue_walk do
+            let bs = inblossom.(!s) in
+            assert (label.(bs) = 1);
+            assert (labelend.(bs) = mate.(blossombase.(bs)));
+            if bs >= nvertex then augment_blossom bs !s;
+            mate.(!s) <- !p;
+            if labelend.(bs) = -1 then continue_walk := false
+            else begin
+              let t = ends.(labelend.(bs)) in
+              let bt = inblossom.(t) in
+              assert (label.(bt) = 2);
+              assert (labelend.(bt) >= 0);
+              s := ends.(labelend.(bt));
+              let j = ends.(labelend.(bt) lxor 1) in
+              assert (blossombase.(bt) = t);
+              if bt >= nvertex then augment_blossom bt j;
+              mate.(j) <- labelend.(bt);
+              p := labelend.(bt) lxor 1
+            end
+          done)
+        [ (ev.(k), (2 * k) + 1); (ew.(k), 2 * k) ]
+    in
+
+    (* Main loop: at most nvertex stages, each ending in an augmentation
+       or proving optimality. *)
+    (try
+       for _stage = 1 to nvertex do
+         Array.fill label 0 (2 * nvertex) 0;
+         Array.fill bestedge 0 (2 * nvertex) (-1);
+         for i = nvertex to (2 * nvertex) - 1 do
+           blossombestedges.(i) <- None
+         done;
+         Array.fill allowedge 0 nedge false;
+         queue := [];
+         for v = 0 to nvertex - 1 do
+           if mate.(v) = -1 && label.(inblossom.(v)) = 0 then assign_label v 1 (-1)
+         done;
+         let augmented = ref false in
+         let substage_done = ref false in
+         while not !substage_done do
+           while !queue <> [] && not !augmented do
+             let v = match !queue with x :: tl -> queue := tl; x | [] -> assert false in
+             assert (label.(inblossom.(v)) = 1);
+             List.iter
+               (fun p ->
+                 if not !augmented then begin
+                   let k = p / 2 in
+                   let w = ends.(p) in
+                   if inblossom.(v) <> inblossom.(w) then begin
+                     let kslack = ref 0 in
+                     if not allowedge.(k) then begin
+                       kslack := slack k;
+                       if !kslack <= 0 then allowedge.(k) <- true
+                     end;
+                     if allowedge.(k) then begin
+                       if label.(inblossom.(w)) = 0 then assign_label w 2 (p lxor 1)
+                       else if label.(inblossom.(w)) = 1 then begin
+                         let base = scan_blossom v w in
+                         if base >= 0 then add_blossom base k
+                         else begin
+                           augment_matching k;
+                           augmented := true
+                         end
+                       end
+                       else if label.(w) = 0 then begin
+                         assert (label.(inblossom.(w)) = 2);
+                         label.(w) <- 2;
+                         labelend.(w) <- p lxor 1
+                       end
+                     end
+                     else if label.(inblossom.(w)) = 1 then begin
+                       let b = inblossom.(v) in
+                       if bestedge.(b) = -1 || !kslack < slack bestedge.(b) then
+                         bestedge.(b) <- k
+                     end
+                     else if label.(w) = 0 then
+                       if bestedge.(w) = -1 || !kslack < slack bestedge.(w) then
+                         bestedge.(w) <- k
+                   end
+                 end)
+               neighbend.(v)
+           done;
+           if !augmented then substage_done := true
+           else begin
+             (* Dual adjustment: the minimum of the four delta cases. *)
+             let deltatype = ref (-1) in
+             let delta = ref 0 in
+             let deltaedge = ref (-1) in
+             let deltablossom = ref (-1) in
+             (* delta1: minimum vertex dual (not max-cardinality mode). *)
+             deltatype := 1;
+             delta := dualvar.(0);
+             for v = 1 to nvertex - 1 do
+               if dualvar.(v) < !delta then delta := dualvar.(v)
+             done;
+             (* delta2: S-vertex to free-vertex edges. *)
+             for v = 0 to nvertex - 1 do
+               if label.(inblossom.(v)) = 0 && bestedge.(v) <> -1 then begin
+                 let d = slack bestedge.(v) in
+                 if !deltatype = -1 || d < !delta then begin
+                   delta := d;
+                   deltatype := 2;
+                   deltaedge := bestedge.(v)
+                 end
+               end
+             done;
+             (* delta3: S-S edges between distinct top blossoms. *)
+             for b = 0 to (2 * nvertex) - 1 do
+               if blossomparent.(b) = -1 && label.(b) = 1 && bestedge.(b) <> -1
+               then begin
+                 let kslack = slack bestedge.(b) in
+                 let d = kslack / 2 in
+                 if !deltatype = -1 || d < !delta then begin
+                   delta := d;
+                   deltatype := 3;
+                   deltaedge := bestedge.(b)
+                 end
+               end
+             done;
+             (* delta4: T-blossom duals. *)
+             for b = nvertex to (2 * nvertex) - 1 do
+               if
+                 blossombase.(b) >= 0
+                 && blossomparent.(b) = -1
+                 && label.(b) = 2
+                 && (!deltatype = -1 || dualvar.(b) < !delta)
+               then begin
+                 delta := dualvar.(b);
+                 deltatype := 4;
+                 deltablossom := b
+               end
+             done;
+             if !deltatype = -1 then begin
+               deltatype := 1;
+               delta := 0;
+               for v = 0 to nvertex - 1 do
+                 if dualvar.(v) < !delta then delta := dualvar.(v)
+               done;
+               delta := Stdlib.max 0 !delta
+             end;
+             (* Apply the dual adjustment. *)
+             for v = 0 to nvertex - 1 do
+               match label.(inblossom.(v)) with
+               | 1 -> dualvar.(v) <- dualvar.(v) - !delta
+               | 2 -> dualvar.(v) <- dualvar.(v) + !delta
+               | _ -> ()
+             done;
+             for b = nvertex to (2 * nvertex) - 1 do
+               if blossombase.(b) >= 0 && blossomparent.(b) = -1 then
+                 match label.(b) with
+                 | 1 -> dualvar.(b) <- dualvar.(b) + !delta
+                 | 2 -> dualvar.(b) <- dualvar.(b) - !delta
+                 | _ -> ()
+             done;
+             match !deltatype with
+             | 1 -> substage_done := true (* optimum reached *)
+             | 2 ->
+                 allowedge.(!deltaedge) <- true;
+                 let i = ev.(!deltaedge) and j = ew.(!deltaedge) in
+                 let i = if label.(inblossom.(i)) = 0 then j else i in
+                 assert (label.(inblossom.(i)) = 1);
+                 queue := i :: !queue
+             | 3 ->
+                 allowedge.(!deltaedge) <- true;
+                 let i = ev.(!deltaedge) in
+                 assert (label.(inblossom.(i)) = 1);
+                 queue := i :: !queue
+             | 4 -> expand_blossom !deltablossom false
+             | _ -> assert false
+           end
+         done;
+         if not !augmented then raise Exit;
+         (* End of stage: expand S-blossoms whose dual hit zero. *)
+         for b = nvertex to (2 * nvertex) - 1 do
+           if
+             blossomparent.(b) = -1
+             && blossombase.(b) >= 0
+             && label.(b) = 1
+             && dualvar.(b) = 0
+           then expand_blossom b true
+         done
+       done
+     with Exit -> ());
+    (* Translate mate endpoints to vertices. *)
+    Array.map (fun p -> if p >= 0 then ends.(p) else -1) mate
+  end
+
+let solve g =
+  let mate = solve_mate g in
+  let m = M.create (G.n g) in
+  for v = 0 to G.n g - 1 do
+    if v < Array.length mate && mate.(v) > v then
+      match G.find_edge g v mate.(v) with
+      | Some e -> M.add m e
+      | None -> assert false
+  done;
+  m
+
+let optimum_weight g = M.weight (solve g)

@@ -1,0 +1,17 @@
+(** Exact maximum-weight matching in general graphs.
+
+    Galil's O(n^3) primal–dual blossom algorithm, in the formulation of
+    Van Rantwijk's reference implementation: vertex/blossom duals, four
+    dual-adjustment cases, and blossom shrink/expand bookkeeping via
+    edge endpoints.  Weights are doubled internally so every dual
+    adjustment stays integral.
+
+    This is the ground-truth [M*] for general (non-bipartite) weighted
+    instances; tests cross-validate it against the bitmask-DP oracle on
+    thousands of random small graphs and against the Hungarian algorithm
+    on bipartite ones. *)
+
+val solve : Wm_graph.Weighted_graph.t -> Wm_graph.Matching.t
+(** [solve g] is an exact maximum-weight matching of [g]. *)
+
+val optimum_weight : Wm_graph.Weighted_graph.t -> int

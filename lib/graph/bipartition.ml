@@ -1,0 +1,25 @@
+let two_color g =
+  let n = Weighted_graph.n g in
+  let color = Array.make n (-1) in
+  let ok = ref true in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    if color.(s) = -1 then begin
+      color.(s) <- 0;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        Weighted_graph.iter_neighbors g v (fun u _e ->
+            if color.(u) = -1 then begin
+              color.(u) <- 1 - color.(v);
+              Queue.add u queue
+            end
+            else if color.(u) = color.(v) then ok := false)
+      done
+    end
+  done;
+  if !ok then Some (Array.map (fun c -> c = 0) color) else None
+
+let random rng n = Array.init n (fun _ -> Prng.bool rng)
+
+let halves k v = v < k

@@ -1,0 +1,19 @@
+(** Bipartition detection and random bipartitions.
+
+    The paper's Section 4 reduction draws a {e random} bipartition (L, R)
+    of the vertex set; exact solvers instead need to {e detect} whether a
+    graph is bipartite to pick a ground-truth algorithm. *)
+
+val two_color : Weighted_graph.t -> bool array option
+(** [two_color g] returns [Some side] with [side.(v) = true] for vertices
+    on the left of a proper 2-colouring, or [None] if [g] has an odd
+    cycle.  Isolated vertices are placed on the left. *)
+
+val random : Prng.t -> int -> bool array
+(** [random rng n] assigns each of [n] vertices to L ([true]) or R
+    uniformly and independently — the parametrization step of
+    Section 4.3.1. *)
+
+val halves : int -> int -> bool
+(** [halves k] is the predicate "vertex index < k" — the convention used
+    by {!Gen.random_bipartite}. *)

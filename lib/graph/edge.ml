@@ -1,0 +1,40 @@
+type t = { u : int; v : int; w : int }
+
+let make u v w =
+  if u = v then invalid_arg "Edge.make: self-loop";
+  if w < 0 then invalid_arg "Edge.make: negative weight";
+  if u < v then { u; v; w } else { u = v; v = u; w }
+
+let endpoints e = (e.u, e.v)
+
+let weight e = e.w
+
+let other e x =
+  if x = e.u then e.v
+  else if x = e.v then e.u
+  else invalid_arg "Edge.other: not an endpoint"
+
+let mem_vertex e x = x = e.u || x = e.v
+
+let same_endpoints e f = e.u = f.u && e.v = f.v
+
+let intersects e f = mem_vertex f e.u || mem_vertex f e.v
+
+let compare e f =
+  let c = Int.compare e.u f.u in
+  if c <> 0 then c
+  else
+    let c = Int.compare e.v f.v in
+    if c <> 0 then c else Int.compare e.w f.w
+
+let equal e f = compare e f = 0
+
+let hash e = Hashtbl.hash (e.u, e.v, e.w)
+
+let reweight e w =
+  if w < 0 then invalid_arg "Edge.reweight: negative weight";
+  { e with w }
+
+let pp ppf e = Format.fprintf ppf "%d-%d:%d" e.u e.v e.w
+
+let to_string e = Format.asprintf "%a" pp e

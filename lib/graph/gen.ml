@@ -1,0 +1,265 @@
+type weight_dist =
+  | Unit_weight
+  | Uniform of int * int
+  | Geometric_classes of int
+  | Polynomial of int
+
+let draw_weight rng ~n dist =
+  match dist with
+  | Unit_weight -> 1
+  | Uniform (lo, hi) ->
+      if lo < 1 || hi < lo then invalid_arg "Gen.draw_weight: bad uniform range";
+      Prng.int_in rng lo hi
+  | Geometric_classes classes ->
+      if classes < 1 then invalid_arg "Gen.draw_weight: bad class count";
+      1 lsl Prng.int rng classes
+  | Polynomial k ->
+      if k < 1 then invalid_arg "Gen.draw_weight: bad exponent";
+      let bound =
+        let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
+        Stdlib.max 1 (pow 1 k)
+      in
+      Prng.int_in rng 1 bound
+
+let gnp rng ~n ~p ~weights =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.bernoulli rng p then
+        acc := Edge.make u v (draw_weight rng ~n weights) :: !acc
+    done
+  done;
+  Weighted_graph.create ~n !acc
+
+(* Decode the [i]-th pair (u, v), u < v, in lexicographic order. *)
+let decode_pair n i =
+  let rec find u offset =
+    let row = n - 1 - u in
+    if i < offset + row then (u, u + 1 + (i - offset)) else find (u + 1) (offset + row)
+  in
+  (* Jump close with the closed form, then correct with the exact scan. *)
+  let approx =
+    let fi = float_of_int i and fn = float_of_int n in
+    let u = fn -. 2.0 -. Float.of_int (int_of_float (sqrt ((2.0 *. (fn -. 1.0) *. fn -. (8.0 *. fi) -. 7.0) /. 4.0) -. 0.5)) in
+    Stdlib.max 0 (min (n - 2) (int_of_float u) - 2)
+  in
+  let offset_of u = (u * (2 * n - u - 1)) / 2 in
+  let rec back u = if u > 0 && offset_of u > i then back (u - 1) else u in
+  let u0 = back approx in
+  find u0 (offset_of u0)
+
+let gnm rng ~n ~m ~weights =
+  let max_m = n * (n - 1) / 2 in
+  if m > max_m then invalid_arg "Gen.gnm: too many edges";
+  let picks = Prng.sample_without_replacement rng m max_m in
+  let edges =
+    Array.to_list
+      (Array.map
+         (fun i ->
+           let u, v = decode_pair n i in
+           Edge.make u v (draw_weight rng ~n weights))
+         picks)
+  in
+  Weighted_graph.create ~n edges
+
+let random_bipartite rng ~left ~right ~p ~weights =
+  let n = left + right in
+  let acc = ref [] in
+  for u = 0 to left - 1 do
+    for v = left to n - 1 do
+      if Prng.bernoulli rng p then
+        acc := Edge.make u v (draw_weight rng ~n weights) :: !acc
+    done
+  done;
+  Weighted_graph.create ~n !acc
+
+let complete rng ~n ~weights = gnp rng ~n ~p:1.0 ~weights
+
+let power_law_bipartite rng ~left ~right ~edges ~exponent ~weights =
+  if exponent <= 1.0 then invalid_arg "Gen.power_law_bipartite: exponent <= 1";
+  let n = left + right in
+  (* Zipf-ish sampling of the right side: advertiser/firm popularity. *)
+  let cum = Array.make right 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to right - 1 do
+    total := !total +. (1.0 /. (float_of_int (i + 1) ** exponent));
+    cum.(i) <- !total
+  done;
+  let sample_right () =
+    let x = Prng.float rng !total in
+    let rec bsearch lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if cum.(mid) < x then bsearch (mid + 1) hi else bsearch lo mid
+      end
+    in
+    left + bsearch 0 (right - 1)
+  in
+  let seen = Hashtbl.create edges in
+  let acc = ref [] in
+  let attempts = ref 0 in
+  while Hashtbl.length seen < edges && !attempts < 20 * edges do
+    incr attempts;
+    let u = Prng.int rng left in
+    let v = sample_right () in
+    if not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      acc := Edge.make u v (draw_weight rng ~n weights) :: !acc
+    end
+  done;
+  Weighted_graph.create ~n !acc
+
+let grid rng ~rows ~cols ~weights =
+  let n = rows * cols in
+  let id r c = (r * cols) + c in
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        acc := Edge.make (id r c) (id r (c + 1)) (draw_weight rng ~n weights) :: !acc;
+      if r + 1 < rows then
+        acc := Edge.make (id r c) (id (r + 1) c) (draw_weight rng ~n weights) :: !acc
+    done
+  done;
+  Weighted_graph.create ~n !acc
+
+let path_graph ws =
+  let k = List.length ws in
+  let edges = List.mapi (fun i w -> Edge.make i (i + 1) w) ws in
+  Weighted_graph.create ~n:(k + 1) edges
+
+let cycle_graph ws =
+  let k = List.length ws in
+  if k < 3 then invalid_arg "Gen.cycle_graph: need at least 3 edges";
+  let edges = List.mapi (fun i w -> Edge.make i ((i + 1) mod k) w) ws in
+  Weighted_graph.create ~n:k edges
+
+let augmenting_cycle_family ~cycles ~low ~high =
+  let n = 4 * cycles in
+  let acc = ref [] in
+  let matched = ref [] in
+  for c = 0 to cycles - 1 do
+    let b = 4 * c in
+    let e01 = Edge.make b (b + 1) low in
+    let e23 = Edge.make (b + 2) (b + 3) low in
+    acc := Edge.make (b + 3) b high :: Edge.make (b + 1) (b + 2) high :: e23 :: e01 :: !acc;
+    matched := e01 :: e23 :: !matched
+  done;
+  (Weighted_graph.create ~n !acc, Matching.of_edges n !matched)
+
+let long_augmenting_paths rng ~paths ~half_length =
+  let per_path = (2 * half_length) + 2 in
+  let n = paths * per_path in
+  let acc = ref [] in
+  let matched = ref [] in
+  for p = 0 to paths - 1 do
+    let base = p * per_path in
+    let w = Prng.int_in rng 1 16 in
+    for i = 0 to (2 * half_length) do
+      let e = Edge.make (base + i) (base + i + 1) w in
+      acc := e :: !acc;
+      if i mod 2 = 1 then matched := e :: !matched
+    done
+  done;
+  (Weighted_graph.create ~n !acc, Matching.of_edges n !matched)
+
+let planted_three_augmentations rng ~k ~spare ~weights =
+  let n = (4 * k) + (2 * spare) in
+  let acc = ref [] in
+  let matched = ref [] in
+  for i = 0 to k - 1 do
+    let a = 4 * i and m1 = (4 * i) + 1 and m2 = (4 * i) + 2 and b = (4 * i) + 3 in
+    let wm = draw_weight rng ~n weights in
+    let mid = Edge.make m1 m2 wm in
+    (* Side edges carry the same weight as the middle: the augmentation
+       gains +wm, the excess weight at each side is 0 (so the edges pass
+       Algorithm 1's small-excess filter), and all three edges share a
+       doubling weight class. *)
+    acc := Edge.make m2 b wm :: Edge.make a m1 wm :: mid :: !acc;
+    matched := mid :: !matched
+  done;
+  for i = 0 to spare - 1 do
+    let u = (4 * k) + (2 * i) in
+    let e = Edge.make u (u + 1) (draw_weight rng ~n weights) in
+    acc := e :: !acc;
+    matched := e :: !matched
+  done;
+  (Weighted_graph.create ~n !acc, Matching.of_edges n !matched)
+
+let planted_quintuples rng ~k ~weights =
+  let n = 6 * k in
+  let acc = ref [] in
+  let matched = ref [] in
+  for i = 0 to k - 1 do
+    let x = 6 * i and a = (6 * i) + 1 and m1 = (6 * i) + 2 in
+    let m2 = (6 * i) + 3 and b = (6 * i) + 4 and y = (6 * i) + 5 in
+    (* Quintuple (e1, o1, e2, o2, e3): middle e2 of weight w, outer
+       matched edges of weight w/4, unmatched o edges of weight w — the
+       shape passes Algorithm 1's filters and gains w/2 when applied. *)
+    let w = Stdlib.max 4 (draw_weight rng ~n weights) in
+    let e1 = Edge.make x a (w / 4) in
+    let e2 = Edge.make m1 m2 w in
+    let e3 = Edge.make b y (w / 4) in
+    acc :=
+      Edge.make m2 b w :: Edge.make a m1 w :: e3 :: e2 :: e1 :: !acc;
+    matched := e1 :: e2 :: e3 :: !matched
+  done;
+  (Weighted_graph.create ~n !acc, Matching.of_edges n !matched)
+
+let near_half_trap _rng ~blocks =
+  let n = 4 * blocks in
+  let acc = ref [] in
+  for b = 0 to blocks - 1 do
+    let u = 4 * b in
+    acc :=
+      Edge.make (u + 2) (u + 3) 1 :: Edge.make (u + 1) (u + 2) 1
+      :: Edge.make u (u + 1) 1 :: !acc
+  done;
+  Weighted_graph.create ~n !acc
+
+(* Paper worked examples.  Vertex naming: a=0, b=1, c=2, ... *)
+
+let paper_fig1 () =
+  let a = 0 and b = 1 and c = 2 and d = 3 and e = 4 and f = 5 in
+  let cd = Edge.make c d 5 in
+  let g =
+    Weighted_graph.create ~n:6
+      [ cd; Edge.make a c 4; Edge.make d f 4; Edge.make b c 2; Edge.make d e 2 ]
+  in
+  (g, Matching.of_edges 6 [ cd ])
+
+let paper_fig2 () =
+  let a = 0 and b = 1 and c = 2 and d = 3 and e = 4 and f = 5 and gg = 6 and h = 7 in
+  let ab = Edge.make a b 2 in
+  let cd = Edge.make c d 3 in
+  let ef = Edge.make e f 1 in
+  let gh = Edge.make gg h 0 in
+  let g =
+    Weighted_graph.create ~n:8
+      [
+        ab; cd; ef; gh;
+        Edge.make e h 2;  (* 1-augmentation: 2 > w(ef) + w(gh) = 1 *)
+        Edge.make a d 4;  (* with cf: path augmentation of gain 2 *)
+        Edge.make c f 4;
+        Edge.make f h 2;  (* with ge: augmenting cycle e-f-h-g of gain 3 *)
+        Edge.make gg e 2;
+      ]
+  in
+  (g, Matching.of_edges 8 [ ab; cd; ef; gh ])
+
+let paper_four_cycle () =
+  let g = cycle_graph [ 3; 4; 3; 4 ] in
+  let e01 = Edge.make 0 1 3 and e23 = Edge.make 2 3 3 in
+  (g, Matching.of_edges 4 [ e01; e23 ])
+
+let paper_nonsimple_path () =
+  let a = 0 and b = 1 and c = 2 and d = 3 and e = 4 and f = 5 in
+  let ab = Edge.make a b 1 in
+  let cd = Edge.make c d 1 in
+  let ef = Edge.make e f 1 in
+  let g =
+    Weighted_graph.create ~n:6
+      [ ab; cd; ef; Edge.make b c 2; Edge.make d e 2; Edge.make b d 2 ]
+  in
+  (g, Matching.of_edges 6 [ ab; cd; ef ])

@@ -1,0 +1,86 @@
+let to_string g =
+  let buf = Buffer.create (64 + (Weighted_graph.m g * 16)) in
+  Buffer.add_string buf
+    (Printf.sprintf "p wm %d %d\n" (Weighted_graph.n g) (Weighted_graph.m g));
+  Weighted_graph.iter_edges
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      Buffer.add_string buf (Printf.sprintf "e %d %d %d\n" u v (Edge.weight e)))
+    g;
+  Buffer.contents buf
+
+type header = { kind : string; n : int; count : int }
+
+let parse_lines s =
+  let header = ref None in
+  let edges = ref [] in
+  let lines = String.split_on_char '\n' s in
+  List.iteri
+    (fun lineno line ->
+      let fail msg = failwith (Printf.sprintf "line %d: %s" (lineno + 1) msg) in
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; kind; n; count ] -> (
+            if !header <> None then fail "duplicate problem line";
+            match (int_of_string_opt n, int_of_string_opt count) with
+            | Some n, Some count -> header := Some { kind; n; count }
+            | _ -> fail "bad problem line")
+        | "p" :: _ -> fail "bad problem line"
+        | [ "e"; u; v; w ] -> (
+            if !header = None then fail "edge before problem line";
+            match
+              (int_of_string_opt u, int_of_string_opt v, int_of_string_opt w)
+            with
+            | Some u, Some v, Some w -> (
+                match Edge.make u v w with
+                | e -> edges := e :: !edges
+                | exception Invalid_argument msg -> fail msg)
+            | _ -> fail "bad edge line")
+        | _ -> fail "unrecognised line")
+    lines;
+  match !header with
+  | None -> failwith "missing problem line"
+  | Some h ->
+      let edges = List.rev !edges in
+      if List.length edges <> h.count then
+        failwith
+          (Printf.sprintf "problem line announces %d edges, found %d" h.count
+             (List.length edges));
+      (h, edges)
+
+let of_string s =
+  let h, edges = parse_lines s in
+  if h.kind <> "wm" then failwith (Printf.sprintf "expected 'p wm', got 'p %s'" h.kind);
+  Weighted_graph.create ~n:h.n edges
+
+let matching_to_string m =
+  let edges = Matching.edges m in
+  let buf = Buffer.create (64 + (List.length edges * 16)) in
+  Buffer.add_string buf
+    (Printf.sprintf "p matching %d %d\n" (Matching.n m) (Matching.size m));
+  List.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      Buffer.add_string buf (Printf.sprintf "e %d %d %d\n" u v (Edge.weight e)))
+    edges;
+  Buffer.contents buf
+
+let matching_of_string s =
+  let h, edges = parse_lines s in
+  if h.kind <> "matching" then
+    failwith (Printf.sprintf "expected 'p matching', got 'p %s'" h.kind);
+  Matching.of_edges h.n edges
+
+let write_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic) |> of_string)

@@ -1,0 +1,24 @@
+(** Reading and writing graphs and matchings in a DIMACS-style text
+    format.
+
+    Format ("wm" problem line, 0-based vertex ids):
+    {v
+    c optional comments
+    p wm <n> <m>
+    e <u> <v> <w>      (one line per edge)
+    v}
+    Matchings use the same edge lines under a [p matching <n> <k>]
+    header.  The format round-trips exactly (edge order preserved). *)
+
+val to_string : Weighted_graph.t -> string
+
+val of_string : string -> Weighted_graph.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val write_file : string -> Weighted_graph.t -> unit
+
+val read_file : string -> Weighted_graph.t
+
+val matching_to_string : Matching.t -> string
+
+val matching_of_string : string -> Matching.t

@@ -1,0 +1,78 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = bits64 t }
+
+(* Rejection-free bounded sampling: take the top bits via modulo after
+   masking the sign bit; bias is negligible for bounds far below 2^62 and
+   we additionally reject in the unlikely biased tail for exactness. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.logand (bits64 t) Int64.max_int in
+    let v = Int64.rem r bound64 in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int bound64) 1L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Prng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle t a =
+  let b = Array.copy a in
+  shuffle_in_place t b;
+  b
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place t a;
+  a
+
+let sample_without_replacement t k n =
+  if k > n then invalid_arg "Prng.sample_without_replacement: k > n";
+  (* Partial Fisher–Yates over a sparse map keeps this O(k) in memory. *)
+  let map = Hashtbl.create (2 * k) in
+  let get i = match Hashtbl.find_opt map i with Some v -> v | None -> i in
+  Array.init k (fun i ->
+      let j = int_in t i (n - 1) in
+      let vi = get i and vj = get j in
+      Hashtbl.replace map j vi;
+      Hashtbl.replace map i vj;
+      vj)
+
+let exponential t lambda =
+  let u = Stdlib.max 1e-300 (float t 1.0) in
+  -.Float.log u /. lambda

@@ -1,0 +1,88 @@
+type t = {
+  n : int;
+  edges : Edge.t array;
+  mutable adj : (int * Edge.t) list array option; (* built on first use *)
+}
+
+let validate n edges =
+  let seen = Hashtbl.create (Array.length edges) in
+  Array.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      if u < 0 || v >= n then
+        invalid_arg
+          (Printf.sprintf "Weighted_graph: edge %s out of range [0,%d)"
+             (Edge.to_string e) n);
+      if Hashtbl.mem seen (u, v) then
+        invalid_arg
+          (Printf.sprintf "Weighted_graph: parallel edge %s" (Edge.to_string e));
+      Hashtbl.add seen (u, v) ())
+    edges
+
+let of_array ~n edges =
+  if n < 0 then invalid_arg "Weighted_graph: negative n";
+  let edges = Array.copy edges in
+  validate n edges;
+  { n; edges; adj = None }
+
+let create ~n edges = of_array ~n (Array.of_list edges)
+
+let empty n = of_array ~n [||]
+
+let n g = g.n
+let m g = Array.length g.edges
+let edges g = g.edges
+let edge_list g = Array.to_list g.edges
+let iter_edges f g = Array.iter f g.edges
+let fold_edges f init g = Array.fold_left f init g.edges
+
+let adjacency g =
+  match g.adj with
+  | Some a -> a
+  | None ->
+      let a = Array.make g.n [] in
+      Array.iter
+        (fun e ->
+          let u, v = Edge.endpoints e in
+          a.(u) <- (v, e) :: a.(u);
+          a.(v) <- (u, e) :: a.(v))
+        g.edges;
+      g.adj <- Some a;
+      a
+
+let neighbors g v = (adjacency g).(v)
+
+let iter_neighbors g v f = List.iter (fun (u, e) -> f u e) (adjacency g).(v)
+
+let degree g v = List.length (adjacency g).(v)
+
+let find_edge g u v =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then None
+  else
+    List.find_map
+      (fun (x, e) -> if x = v then Some e else None)
+      (adjacency g).(u)
+
+let mem_edge g u v = Option.is_some (find_edge g u v)
+
+let total_weight g = Array.fold_left (fun acc e -> acc + Edge.weight e) 0 g.edges
+
+let max_weight g = Array.fold_left (fun acc e -> Stdlib.max acc (Edge.weight e)) 0 g.edges
+
+let subgraph g keep =
+  { n = g.n; edges = Array.of_seq (Seq.filter keep (Array.to_seq g.edges)); adj = None }
+
+let map_weights g f =
+  { n = g.n; edges = Array.map (fun e -> Edge.reweight e (f e)) g.edges; adj = None }
+
+let is_bipartition g ~left =
+  Array.for_all
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      left u <> left v)
+    g.edges
+
+let pp ppf g =
+  Format.fprintf ppf "@[<hov 2>graph(n=%d, m=%d:@ %a)@]" g.n (m g)
+    (Format.pp_print_array ~pp_sep:Format.pp_print_space Edge.pp)
+    g.edges

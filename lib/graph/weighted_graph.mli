@@ -1,0 +1,64 @@
+(** Weighted undirected graphs on vertices [0 .. n-1].
+
+    The representation stores the edge list plus a lazily-built adjacency
+    index; both the streaming algorithms (which consume edge lists in a
+    given order) and the offline solvers (which need neighbourhood
+    queries) are served without duplication. *)
+
+type t
+
+val create : n:int -> Edge.t list -> t
+(** [create ~n edges] builds a graph with vertex set [0..n-1].
+    Raises [Invalid_argument] if an edge mentions a vertex outside the
+    range, or if two edges share the same endpoints (parallel edges). *)
+
+val of_array : n:int -> Edge.t array -> t
+(** As {!create} from an array (the array is copied). *)
+
+val empty : int -> t
+(** [empty n] is the edgeless graph on [n] vertices. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val edges : t -> Edge.t array
+(** All edges; do not mutate the returned array. *)
+
+val edge_list : t -> Edge.t list
+
+val iter_edges : (Edge.t -> unit) -> t -> unit
+
+val fold_edges : ('a -> Edge.t -> 'a) -> 'a -> t -> 'a
+
+val neighbors : t -> int -> (int * Edge.t) list
+(** [neighbors g v] lists [(u, e)] for every edge [e] joining [v] to [u]. *)
+
+val iter_neighbors : t -> int -> (int -> Edge.t -> unit) -> unit
+
+val degree : t -> int -> int
+
+val find_edge : t -> int -> int -> Edge.t option
+(** [find_edge g u v] is the edge joining [u] and [v], if present. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val total_weight : t -> int
+
+val max_weight : t -> int
+(** Maximum edge weight; [0] for the edgeless graph. *)
+
+val subgraph : t -> (Edge.t -> bool) -> t
+(** [subgraph g keep] has the same vertex set and the edges satisfying
+    [keep]. *)
+
+val map_weights : t -> (Edge.t -> int) -> t
+(** Reweight every edge. *)
+
+val is_bipartition : t -> left:(int -> bool) -> bool
+(** [is_bipartition g ~left] checks that every edge joins a [left] vertex
+    to a non-[left] vertex. *)
+
+val pp : Format.formatter -> t -> unit

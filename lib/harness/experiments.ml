@@ -1,0 +1,796 @@
+module E = Wm_graph.Edge
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+module P = Wm_graph.Prng
+module B = Wm_graph.Bipartition
+module Gen = Wm_graph.Gen
+module ES = Wm_stream.Edge_stream
+module Meter = Wm_stream.Space_meter
+module R = Report
+
+type experiment = {
+  id : string;
+  title : string;
+  claim : string;
+  run : quick:bool -> seed:int -> unit;
+}
+
+let fratio a b = if b = 0 then 1.0 else float_of_int a /. float_of_int b
+
+let seeds_list ~quick base =
+  List.init (if quick then 4 else 10) (fun i -> base + i)
+
+(* Streaming weighted greedy that replaces conflicting lighter edges —
+   the natural "improving greedy" baseline. *)
+let improving_greedy s =
+  let m = M.create (ES.graph_n s) in
+  ES.iter s (fun e ->
+      let u, v = E.endpoints e in
+      if E.weight e > M.weight_at m u + M.weight_at m v then
+        ignore (M.add_evicting m e));
+  m
+
+(* ------------------------------------------------------------------ *)
+(* T1: Theorem 1.1 — (1/2 + c) weighted matching, random arrivals. *)
+
+let run_t1 ~quick ~seed =
+  R.section ~id:"T1" ~title:"weighted matching, random edge arrivals"
+    ~claim:
+      "Thm 1.1: RAND-ARR-MATCHING is (1/2+c)-approximate in expectation on \
+       random-order streams; baselines (local-ratio, improving greedy) stay \
+       near or below it";
+  R.table_header [ "family"; "n"; "rand-arr"; "local-ratio"; "greedy"; "opt" ];
+  let sizes = if quick then [ 100; 200 ] else [ 100; 200; 400 ] in
+  let families n =
+    let mk_bip w tag =
+      let rng = P.create (seed + n) in
+      ( tag,
+        Gen.random_bipartite rng ~left:(n / 2) ~right:(n / 2)
+          ~p:(16.0 /. float_of_int n)
+          ~weights:w )
+    in
+    [
+      mk_bip (Gen.Uniform (1, 100)) "bip-uniform";
+      mk_bip (Gen.Geometric_classes 8) "bip-geom";
+      ( "cycles",
+        fst (Gen.augmenting_cycle_family ~cycles:(n / 4) ~low:5 ~high:8) );
+    ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (tag, g) ->
+          let opt =
+            match Wm_exact.Mwm_general.solve_opt g with
+            | Some o -> M.weight o
+            | None -> M.weight (Wm_exact.Mwm_general.lower_bound g)
+          in
+          let avg algo =
+            R.mean
+              (List.map
+                 (fun s ->
+                   let stream =
+                     ES.of_graph ~order:(ES.Random (P.create s)) g
+                   in
+                   fratio (algo stream s) opt)
+                 (seeds_list ~quick (seed * 13)))
+          in
+          let ra =
+            avg (fun stream s ->
+                M.weight
+                  (Wm_core.Random_arrival.solve ~rng:(P.create (s + 7)) stream))
+          in
+          let lr = avg (fun stream _ -> M.weight (Wm_algos.Local_ratio.solve stream)) in
+          let gr = avg (fun stream _ -> M.weight (improving_greedy stream)) in
+          R.row
+            [ tag; R.cell_i (G.n g); R.cell_f ra; R.cell_f lr; R.cell_f gr;
+              R.cell_i opt ])
+        (families n))
+    sizes;
+  (* Negative control: the theorem needs random arrivals; adversarial
+     orders erase (or reverse) the advantage. *)
+  Printf.printf "\narrival-order control (bip-uniform, n = 200):\n";
+  R.table_header [ "order"; "rand-arr"; "local-ratio"; "T-set"; "m" ];
+  let n = 200 in
+  let g =
+    let rng = P.create (seed + n) in
+    Gen.random_bipartite rng ~left:(n / 2) ~right:(n / 2)
+      ~p:(16.0 /. float_of_int n)
+      ~weights:(Gen.Uniform (1, 100))
+  in
+  let opt =
+    match Wm_exact.Mwm_general.solve_opt g with
+    | Some o -> M.weight o
+    | None -> 1
+  in
+  List.iter
+    (fun (tag, mk_order) ->
+      let stream () = ES.of_graph ~order:(mk_order ()) g in
+      let rr = Wm_core.Random_arrival.run ~rng:(P.create (seed + 9)) (stream ()) in
+      let ra = fratio (M.weight rr.Wm_core.Random_arrival.matching) opt in
+      let lr = fratio (M.weight (Wm_algos.Local_ratio.solve (stream ()))) opt in
+      R.row
+        [ tag; R.cell_f ra; R.cell_f lr;
+          R.cell_i rr.Wm_core.Random_arrival.t_size; R.cell_i (G.m g) ])
+    [
+      ("random", fun () -> ES.Random (P.create (seed + 8)));
+      ("increasing", fun () -> ES.Increasing_weight);
+      ("decreasing", fun () -> ES.Decreasing_weight);
+    ];
+  R.note
+    "rand-arr >= local-ratio on every family, both well above 1/2; the \
+     advantage is the unweighted-augmentation phase (Section 3.2).  The \
+     control rows show what randomness actually protects: the memory \
+     bound.  Under increasing-weight arrivals the frozen potentials are \
+     tiny and the retained set T swallows nearly the whole stream \
+     (T ~ m, breaking Lemma 3.15's O(n polylog n) bound), which is why \
+     the quality even improves — the algorithm silently degrades into an \
+     offline solver.  Random order is the hypothesis that keeps one-pass \
+     semantics honest"
+
+(* ------------------------------------------------------------------ *)
+(* T2: Theorem 3.4 — 0.506 unweighted matching, random arrivals. *)
+
+let run_t2 ~quick ~seed =
+  R.section ~id:"T2" ~title:"unweighted matching, random edge arrivals"
+    ~claim:
+      "Thm 3.4: one-pass 0.506-approximation in expectation, vs the 1/2 \
+       greedy barrier";
+  R.table_header [ "family"; "n"; "ours"; "greedy"; "opt" ];
+  let scale = if quick then 1 else 2 in
+  let rng = P.create seed in
+  let fams =
+    [
+      ("trap", Gen.near_half_trap rng ~blocks:(100 * scale));
+      ( "gnp-sparse",
+        Gen.gnp rng ~n:(400 * scale)
+          ~p:(3.0 /. float_of_int (400 * scale))
+          ~weights:Gen.Unit_weight );
+      ( "bip-sparse",
+        Gen.random_bipartite rng ~left:(200 * scale) ~right:(200 * scale)
+          ~p:(1.5 /. float_of_int (200 * scale))
+          ~weights:Gen.Unit_weight );
+    ]
+  in
+  List.iter
+    (fun (tag, g) ->
+      let opt = M.size (Wm_exact.Blossom.solve g) in
+      let avg algo =
+        R.mean
+          (List.map
+             (fun s ->
+               let stream = ES.of_graph ~order:(ES.Random (P.create s)) g in
+               fratio (algo stream) opt)
+             (seeds_list ~quick (seed * 17)))
+      in
+      let ours =
+        avg (fun s -> M.size (Wm_algos.Unweighted_random_arrival.solve s))
+      in
+      let greedy = avg (fun s -> M.size (Wm_algos.Greedy.maximal_stream s)) in
+      R.row [ tag; R.cell_i (G.n g); R.cell_f ours; R.cell_f greedy; R.cell_i opt ])
+    fams;
+  R.note
+    "ours > greedy on every family; on the trap family greedy sits near \
+     0.8 of optimum while ours recovers nearly all 3-augmentations"
+
+(* ------------------------------------------------------------------ *)
+(* T3: Theorem 1.2.2 — (1 - eps) in O_eps(1) streaming passes. *)
+
+let run_t3 ~quick ~seed =
+  R.section ~id:"T3" ~title:"(1-eps) weighted matching, multi-pass streaming"
+    ~claim:
+      "Thm 1.2.2: (1-eps)-approximation in O_eps(1) passes and O_eps(n \
+       polylog n) memory; passes do not grow with n";
+  R.table_header
+    [ "n"; "eps"; "ratio"; "passes"; "peak-edges"; "rounds" ];
+  let sizes = if quick then [ 100; 200 ] else [ 100; 200; 400 ] in
+  let epss = if quick then [ 0.3; 0.15 ] else [ 0.3; 0.2; 0.1 ] in
+  List.iter
+    (fun n ->
+      let grng = P.create (seed + n) in
+      let g =
+        Gen.random_bipartite grng ~left:(n / 2) ~right:(n / 2)
+          ~p:(16.0 /. float_of_int n)
+          ~weights:(Gen.Uniform (1, 50))
+      in
+      let opt = M.weight (Wm_exact.Hungarian.solve g ~left:(B.halves (n / 2))) in
+      List.iter
+        (fun eps ->
+          let params = Wm_core.Params.practical ~epsilon:eps () in
+          let s = ES.of_graph g in
+          let r = Wm_core.Model_driver.streaming params (P.create (seed + 1)) s in
+          R.row
+            [
+              R.cell_i n; R.cell_f eps;
+              R.cell_f (fratio (M.weight r.Wm_core.Model_driver.matching) opt);
+              R.cell_i r.Wm_core.Model_driver.passes;
+              R.cell_i r.Wm_core.Model_driver.peak_edges;
+              R.cell_i r.Wm_core.Model_driver.rounds_run;
+            ])
+        epss)
+    sizes;
+  R.note
+    "ratio >= 1 - eps; pass count depends on eps (through delta and the \
+     round count), not on n; peak retained edges grow ~linearly in n"
+
+(* ------------------------------------------------------------------ *)
+(* T4: Theorem 1.2.1 — (1 - eps) in the MPC model. *)
+
+let run_t4 ~quick ~seed =
+  R.section ~id:"T4" ~title:"(1-eps) weighted matching, MPC"
+    ~claim:
+      "Thm 1.2.1: (1-eps)-approximation in O_eps(U_M) rounds with ~O(n) \
+       memory per machine, U_M = O_eps(log log n)";
+  R.table_header
+    [ "n"; "eps"; "ratio"; "rounds"; "rnd/iter"; "peak-mem"; "lpp-ratio"; "lpp-rnds" ];
+  let sizes = if quick then [ 128; 256 ] else [ 128; 256; 512 ] in
+  let epss = if quick then [ 0.3 ] else [ 0.3; 0.15 ] in
+  List.iter
+    (fun n ->
+      let grng = P.create (seed + n) in
+      let g =
+        Gen.random_bipartite grng ~left:(n / 2) ~right:(n / 2)
+          ~p:(16.0 /. float_of_int n)
+          ~weights:(Gen.Uniform (1, 50))
+      in
+      let opt = M.weight (Wm_exact.Hungarian.solve g ~left:(B.halves (n / 2))) in
+      let log2n =
+        int_of_float (Float.ceil (Float.log (float_of_int n) /. Float.log 2.0))
+      in
+      let machines = Stdlib.max 2 (G.m g / Stdlib.max 1 n) in
+      List.iter
+        (fun eps ->
+          let params = Wm_core.Params.practical ~epsilon:eps () in
+          let memory_words = 8 * n * log2n in
+          let cluster = Wm_mpc.Cluster.create ~machines ~memory_words in
+          let r =
+            Wm_core.Model_driver.mpc params (P.create (seed + 2)) cluster g
+          in
+          (* The LPP15-style weighted baseline, on its own cluster. *)
+          let c2 = Wm_mpc.Cluster.create ~machines ~memory_words in
+          let lpp =
+            Wm_mpc.Mpc_matching.weighted_greedy_by_class c2 (P.create (seed + 3)) g
+          in
+          R.row
+            [
+              R.cell_i n; R.cell_f eps;
+              R.cell_f (fratio (M.weight r.Wm_core.Model_driver.matching) opt);
+              R.cell_i r.Wm_core.Model_driver.rounds;
+              R.cell_i
+                (r.Wm_core.Model_driver.rounds
+                / Stdlib.max 1 r.Wm_core.Model_driver.rounds_run);
+              R.cell_i r.Wm_core.Model_driver.peak_machine_memory;
+              R.cell_f (fratio (M.weight lpp) opt);
+              R.cell_i (Wm_mpc.Cluster.rounds c2);
+            ])
+        epss)
+    sizes;
+  R.note
+    "ratio >= 1 - eps within the O~(n)-per-machine memory cap; rnd/iter (the \
+     model charge per improvement iteration) grows only with log log n.  \
+     The LPP15-style class-greedy baseline (the related-work comparator) \
+     is cheaper in rounds but plateaus near its constant-factor guarantee, \
+     visibly below 1 - eps"
+
+(* ------------------------------------------------------------------ *)
+(* T5: Lemma 3.1 — UNW-3-AUG-PATHS recovery bound. *)
+
+let run_t5 ~quick ~seed =
+  R.section ~id:"T5" ~title:"UNW-3-AUG-PATHS recovery rate"
+    ~claim:
+      "Lemma 3.1: given beta|M| vertex-disjoint 3-augmenting paths the \
+       algorithm recovers at least (beta^2/32)|M| of them in O(|M|) space";
+  R.table_header
+    [ "k"; "spare"; "beta"; "found"; "bound"; "support" ];
+  let scale = if quick then 1 else 3 in
+  List.iter
+    (fun (k, spare) ->
+      let k = k * scale and spare = spare * scale in
+      let rng = P.create (seed + k + spare) in
+      let g, mid =
+        Gen.planted_three_augmentations rng ~k ~spare ~weights:Gen.Unit_weight
+      in
+      let beta = fratio k (k + spare) in
+      let t = Wm_algos.Unw3aug.create ~n:(G.n g) ~mid ~beta () in
+      G.iter_edges (fun e -> if not (M.mem mid e) then Wm_algos.Unw3aug.feed t e) g;
+      let found = List.length (Wm_algos.Unw3aug.finalize t) in
+      let bound = beta *. beta /. 32.0 *. float_of_int (M.size mid) in
+      R.row
+        [
+          R.cell_i k; R.cell_i spare; R.cell_f beta; R.cell_i found;
+          R.cell_f bound;
+          R.cell_i (Wm_algos.Unw3aug.support_size t);
+        ])
+    [ (50, 0); (50, 50); (50, 150); (20, 180) ];
+  R.note
+    "found >= bound on every row — in practice recovery is near-total \
+     because the planted paths are disjoint; support stays O(|M|)"
+
+(* ------------------------------------------------------------------ *)
+(* F1: Lemmas 3.3/3.15 — retained memory vs n on random arrivals. *)
+
+let run_f1 ~quick ~seed =
+  R.section ~id:"F1" ~title:"retained edges vs n (random arrivals)"
+    ~claim:
+      "Lemmas 3.3 & 3.15: stack S, set T and support sets hold O(n polylog \
+       n) edges whp on random-order streams";
+  R.table_header
+    [ "n"; "m"; "stack"; "T-set"; "peak-total"; "per-nlogn" ];
+  let sizes = if quick then [ 200; 400; 800 ] else [ 200; 400; 800; 1600 ] in
+  List.iter
+    (fun n ->
+      let grng = P.create (seed + n) in
+      let g =
+        Gen.gnp grng ~n ~p:(40.0 /. float_of_int n) ~weights:(Gen.Uniform (1, 1000))
+      in
+      let meter = Meter.create () in
+      let s = ES.of_graph ~order:(ES.Random (P.create (seed + 1))) g in
+      let r = Wm_core.Random_arrival.run ~meter ~rng:(P.create (seed + 2)) s in
+      let nlogn = float_of_int n *. Float.log (float_of_int n) in
+      R.row
+        [
+          R.cell_i n; R.cell_i (G.m g);
+          R.cell_i r.Wm_core.Random_arrival.stack_size;
+          R.cell_i r.Wm_core.Random_arrival.t_size;
+          R.cell_i (Meter.peak meter);
+          R.cell_f (float_of_int (Meter.peak meter) /. nlogn);
+        ])
+    sizes;
+  R.note
+    "peak-total/(n ln n) stays roughly flat as n doubles — the O(n polylog \
+     n) memory shape; compare m, which grows much faster than the retained \
+     sets"
+
+(* ------------------------------------------------------------------ *)
+(* F2: Fact 1.3 — ratio vs allowed augmentation length. *)
+
+let run_f2 ~quick ~seed =
+  R.section ~id:"F2" ~title:"approximation vs augmentation length"
+    ~claim:
+      "Fact 1.3: with no augmenting path/cycle of length <= 2l-1 the \
+       matching is (1 - 1/l)-approximate; allowing longer augmentations \
+       converges to optimal";
+  R.table_header [ "half-len"; "max-layers"; "ratio"; "floor(1-1/l)" ];
+  let paths = if quick then 16 else 40 in
+  List.iter
+    (fun half_length ->
+      let grng = P.create (seed + half_length) in
+      let g, m0 = Gen.long_augmenting_paths grng ~paths ~half_length in
+      let opt =
+        (* Each path of 2L+1 edges of weight w flips from L*w to (L+1)*w. *)
+        M.weight m0 * (half_length + 1) / half_length
+      in
+      List.iter
+        (fun max_layers ->
+          (* A path of 2L+1 edges survives a random bipartition with
+             probability 2^-(2L+1); budget iterations accordingly. *)
+          let params =
+            {
+              (Wm_core.Params.practical ~epsilon:0.1 ()) with
+              Wm_core.Params.max_layers;
+              max_iterations = 120 * (1 lsl (2 * half_length)) / 16;
+            }
+          in
+          let m = M.copy m0 in
+          let best, _ =
+            Wm_core.Main_alg.solve ~init:m
+              ~patience:(16 * (1 lsl (2 * half_length)) / 16)
+              params (P.create (seed + 3)) g
+          in
+          R.row
+            [
+              R.cell_i half_length; R.cell_i max_layers;
+              R.cell_f (fratio (M.weight best) opt);
+              R.cell_f (1.0 -. (1.0 /. float_of_int (half_length + 1)));
+            ])
+        [ 2; half_length + 1; half_length + 2 ])
+    [ 2; 3 ];
+  R.note
+    "with too few layers the ratio is pinned at the Fact 1.3 floor \
+     L/(L+1); once max-layers reaches L+2 (enough for the full path) the \
+     ratio jumps well above the floor, limited only by the 2^-(2L+1) \
+     per-round capture probability of the random bipartition"
+
+(* ------------------------------------------------------------------ *)
+(* F3: Theorem 4.8 — granularity and black-box slack ablation. *)
+
+let run_f3 ~quick ~seed =
+  R.section ~id:"F3" ~title:"granularity / black-box slack ablation"
+    ~claim:
+      "Thm 4.8 & Lemma 4.13: recovered gain degrades gracefully with \
+       coarser rounding (the eps^12 granule) and with black-box slack \
+       delta";
+  R.table_header [ "granule"; "delta"; "ratio"; "lay-edges" ];
+  let n = if quick then 150 else 300 in
+  let grng = P.create (seed + 11) in
+  let g =
+    Gen.random_bipartite grng ~left:(n / 2) ~right:(n / 2)
+      ~p:(16.0 /. float_of_int n)
+      ~weights:(Gen.Uniform (1, 20))
+  in
+  let opt = M.weight (Wm_exact.Hungarian.solve g ~left:(B.halves (n / 2))) in
+  let run granularity delta =
+    let params =
+      {
+        (Wm_core.Params.practical ~epsilon:0.1 ()) with
+        Wm_core.Params.granularity;
+        delta;
+      }
+    in
+    let best, stats =
+      Wm_core.Main_alg.solve ~patience:6 params (P.create (seed + 4)) g
+    in
+    let edges =
+      List.fold_left
+        (fun acc (r : Wm_core.Main_alg.round_stats) ->
+          List.fold_left
+            (fun a (_, (s : Wm_core.Aug_class.stats)) ->
+              a + s.Wm_core.Aug_class.layered_edges)
+            acc r.Wm_core.Main_alg.class_stats)
+        0 stats.Wm_core.Main_alg.rounds
+    in
+    (fratio (M.weight best) opt, edges)
+  in
+  List.iter
+    (fun granule ->
+      List.iter
+        (fun delta ->
+          let ratio, edges = run granule delta in
+          R.row
+            [
+              R.cell_s (Printf.sprintf "1/%.0f" (1.0 /. granule));
+              R.cell_f delta; R.cell_f ratio; R.cell_i edges;
+            ])
+        (if quick then [ 0.5; 0.1 ] else [ 0.5; 0.25; 0.1 ]))
+    (if quick then [ 0.125; 1.0 /. 32.0 ] else [ 0.125; 1.0 /. 32.0; 1.0 /. 64.0 ]);
+  R.note
+    "the granule is a compute/quality dial (finer granules retain far more \
+     layered edges; the paper sets it to eps^12); delta barely moves the \
+     ratio here because every augmenting path of a layered graph spans all \
+     layers, so even a one-phase black box already returns a maximal set \
+     of them — empirical support for the reduction's tolerance of weak \
+     unweighted solvers"
+
+(* ------------------------------------------------------------------ *)
+(* F4: Section 1.1.2 — augmenting cycles. *)
+
+let run_f4 ~quick ~seed =
+  R.section ~id:"F4" ~title:"augmenting cycles on perfect matchings"
+    ~claim:
+      "Section 1.1.2: perfect-but-suboptimal matchings can only be improved \
+       through augmenting cycles; the layered graphs capture them via \
+       repetition";
+  R.table_header
+    [ "low/high"; "params"; "init"; "final"; "opt"; "recovered" ];
+  let cycles = if quick then 8 else 16 in
+  let scaled =
+    (* A cycle of relative gain eps needs ~1/eps repetitions (Section
+       1.1.2) and a granule below the gain: scale the knobs with eps as
+       the paper's formulas dictate. *)
+    {
+      (Wm_core.Params.practical ~epsilon:0.05 ()) with
+      Wm_core.Params.max_layers = 13;
+      granularity = 1.0 /. 128.0;
+      max_iterations = 120;
+    }
+  in
+  List.iter
+    (fun (low, high, params, tag) ->
+      let g, m0 = Gen.augmenting_cycle_family ~cycles ~low ~high in
+      let opt = 2 * high * cycles in
+      let best, _ =
+        Wm_core.Main_alg.solve ~init:m0 ~patience:30 params
+          (P.create (seed + low)) g
+      in
+      let recovered =
+        fratio (M.weight best - M.weight m0) (opt - M.weight m0)
+      in
+      R.row
+        [
+          R.cell_s (Printf.sprintf "%d/%d" low high);
+          tag;
+          R.cell_i (M.weight m0);
+          R.cell_i (M.weight best);
+          R.cell_i opt;
+          R.cell_f recovered;
+        ])
+    (let dflt = Wm_core.Params.practical ~epsilon:0.1 () in
+     [
+       (3, 4, dflt, "default");
+       (2, 3, dflt, "default");
+       (9, 10, dflt, "default");
+       (9, 10, scaled, "scaled");
+     ]);
+  R.note
+    "recovered = 1.0 wherever the layer budget covers the needed \
+     repetitions, even though no augmenting *path* exists (the matchings \
+     are perfect; greedy and 1-augmentations recover exactly 0).  The \
+     9/10 default row fails — relative gain 2/38 needs ~5 repetitions and \
+     a finer granule — and the scaled row shows that growing the knobs \
+     with 1/eps (as the paper's formulas do) restores full recovery"
+
+(* ------------------------------------------------------------------ *)
+(* F5: Figures 1-2 worked examples. *)
+
+let run_f5 ~quick:_ ~seed =
+  R.section ~id:"F5" ~title:"paper worked examples (Figures 1 and 2)"
+    ~claim:
+      "the filtering technique forwards only edges whose unweighted \
+       augmenting paths are also weighted-augmenting";
+  let params = Wm_core.Params.practical ~epsilon:0.1 () in
+  R.table_header [ "instance"; "initial"; "final"; "optimum" ];
+  List.iter
+    (fun (tag, (g, m0)) ->
+      (* Some of the later augmentations are rare events over the random
+         bipartition (fig2's final path competes with earlier 1-augs for
+         vertices), so allow a long dry spell on these micro instances. *)
+      let best, _ =
+        Wm_core.Main_alg.solve ~init:m0 ~patience:60
+          { params with Wm_core.Params.max_iterations = 150 }
+          (P.create (seed + 5)) g
+      in
+      R.row
+        [
+          tag;
+          R.cell_i (M.weight m0);
+          R.cell_i (M.weight best);
+          R.cell_i (Wm_exact.Brute.optimum_weight g);
+        ])
+    [
+      ("fig1", Gen.paper_fig1 ());
+      ("fig2", Gen.paper_fig2 ());
+      ("4-cycle", Gen.paper_four_cycle ());
+      ("non-simple", Gen.paper_nonsimple_path ());
+    ];
+  (* The Fig 1 filtering property, explicitly: the layered graph with the
+     correct thresholds contains the gainful a-c-d-f path and never the
+     lossy b-c-d-e path. *)
+  let g, m = Gen.paper_fig1 () in
+  let side = [| false; false; true; false; false; true |] in
+  let gp = Wm_core.Layered.parametrize_with ~side g m in
+  let tp = Wm_core.Params.tau_params params in
+  let pair = { Wm_core.Tau.a = [| 0; 40; 0 |]; b = [| 32; 32 |] } in
+  (* granularity 1/32 at scale 8: granule 0.25; cd (5) -> 20; ac (4) -> 16. *)
+  let pair =
+    if Wm_core.Tau.is_good tp pair then pair
+    else { Wm_core.Tau.a = [| 0; 20; 0 |]; b = [| 16; 16 |] }
+  in
+  let lay = Wm_core.Layered.build tp gp pair ~scale:8.0 in
+  let weights =
+    List.sort Int.compare
+      (List.map E.weight (G.edge_list lay.Wm_core.Layered.lgraph))
+  in
+  Printf.printf
+    "fig1 layered-graph edge weights (filter keeps 4,4,5; drops 2,2): %s\n"
+    (String.concat "," (List.map string_of_int weights));
+  R.note
+    "every instance reaches its optimum; the lossy unweighted path of Fig 1 \
+     is filtered out of the layered graph"
+
+(* ------------------------------------------------------------------ *)
+(* F6: Theorem 4.1 iteration — convergence over rounds. *)
+
+let run_f6 ~quick ~seed =
+  R.section ~id:"F6" ~title:"weight vs improvement round"
+    ~claim:
+      "Thm 4.1: each round adds Omega_eps(w(M*)) while far from optimal, so \
+       few rounds suffice (geometric-style convergence)";
+  R.table_header [ "round"; "weight"; "ratio" ];
+  let n = if quick then 150 else 300 in
+  let grng = P.create (seed + 21) in
+  let g =
+    Gen.random_bipartite grng ~left:(n / 2) ~right:(n / 2)
+      ~p:(16.0 /. float_of_int n)
+      ~weights:(Gen.Uniform (1, 50))
+  in
+  let opt = M.weight (Wm_exact.Hungarian.solve g ~left:(B.halves (n / 2))) in
+  let params = Wm_core.Params.practical ~epsilon:0.1 () in
+  let rng = P.create (seed + 6) in
+  let m = M.create (G.n g) in
+  let rounds = if quick then 8 else 12 in
+  for round = 1 to rounds do
+    ignore (Wm_core.Main_alg.improve_once params rng g m);
+    R.row
+      [ R.cell_i round; R.cell_i (M.weight m); R.cell_f (fratio (M.weight m) opt) ]
+  done;
+  R.note
+    "the first round (dominated by 1-augmentations on the empty matching) \
+     lands near greedy; later rounds close most of the remaining gap, with \
+     per-round gain shrinking geometrically"
+
+(* ------------------------------------------------------------------ *)
+(* A1: Lemma 4.11 ablation — non-simple projections. *)
+
+let run_a1 ~quick ~seed =
+  R.section ~id:"A1" ~title:"non-simple walks and the Eulerian decomposition"
+    ~claim:
+      "Lemma 4.11: layered-graph paths can project to non-simple walks; the \
+       bipartition orientation lets them decompose into one alternating \
+       path plus alternating even cycles, each individually applicable";
+  R.table_header
+    [ "family"; "paths"; "nonsimple"; "components"; "invalid" ];
+  let inspect tag g m trials =
+    let params = Wm_core.Params.practical ~epsilon:0.1 () in
+    let tp = Wm_core.Params.tau_params params in
+    let rng = P.create (seed + 31) in
+    let paths = ref 0 and nonsimple = ref 0 and comps = ref 0 and invalid = ref 0 in
+    for _ = 1 to trials do
+      let gp = Wm_core.Layered.parametrize rng g m in
+      List.iter
+        (fun scale ->
+          List.iter
+            (fun pair ->
+              let lay = Wm_core.Layered.build tp gp pair ~scale in
+              if Wm_core.Layered.edge_count lay > M.size lay.Wm_core.Layered.init
+              then begin
+                let m' =
+                  Wm_algos.Approx_bipartite.solve ~init:lay.Wm_core.Layered.init
+                    ~delta:0.1 lay.Wm_core.Layered.lgraph
+                    ~left:(Wm_core.Layered.left lay)
+                in
+                List.iter
+                  (fun path ->
+                    incr paths;
+                    let verts, edges =
+                      Wm_core.Decompose.project
+                        ~base_n:lay.Wm_core.Layered.base_n path
+                    in
+                    let distinct =
+                      List.length (List.sort_uniq Int.compare verts)
+                    in
+                    if distinct < List.length verts then incr nonsimple;
+                    let cs = Wm_core.Decompose.decompose ~verts ~edges in
+                    comps := !comps + List.length cs;
+                    List.iter
+                      (fun c ->
+                        if not (Wm_core.Aug.is_wellformed c) then incr invalid)
+                      cs)
+                  (Wm_core.Layered.augmenting_paths lay m')
+              end)
+            (Wm_core.Aug_class.candidate_pairs params rng gp ~scale))
+        (Wm_core.Main_alg.scales_for params g)
+    done;
+    R.row
+      [
+        tag; R.cell_i !paths; R.cell_i !nonsimple; R.cell_i !comps;
+        R.cell_i !invalid;
+      ]
+  in
+  let g, m = Gen.paper_nonsimple_path () in
+  inspect "non-simple" g m (if quick then 40 else 150);
+  let grng = P.create (seed + 41) in
+  let g2, m2 = Gen.augmenting_cycle_family ~cycles:6 ~low:3 ~high:4 in
+  ignore grng;
+  inspect "cycles" g2 m2 (if quick then 10 else 40);
+  R.note
+    "nonsimple > 0 (repeat-visiting walks do occur), yet invalid = 0: every \
+     decomposed component is a simple alternating path or cycle, as Lemma \
+     4.11 promises"
+
+(* ------------------------------------------------------------------ *)
+(* A2: marking-probability ablation in WGT-AUG-PATHS. *)
+
+let run_a2 ~quick ~seed =
+  R.section ~id:"A2" ~title:"middle-edge marking probability"
+    ~claim:
+      "Section 3.2: a 3-augmentation survives marking when its middle edge \
+       is marked and both side edges are not (probability p(1-p)^2; the \
+       paper uses p = 1/2, within a constant of the 1/3 optimum)";
+  R.table_header [ "mark-p"; "augs"; "gain"; "p(1-p)^2" ];
+  let k = if quick then 60 else 200 in
+  let grng = P.create (seed + 51) in
+  let g, m0 = Gen.planted_quintuples grng ~k ~weights:(Gen.Uniform (8, 64)) in
+  List.iter
+    (fun p ->
+      let augs, gains =
+        List.fold_left
+          (fun (a, gn) s ->
+            let wap =
+              Wm_core.Wgt_aug_paths.create ~mark_prob:p ~rng:(P.create s) ~m0 ()
+            in
+            G.iter_edges
+              (fun e -> if not (M.mem m0 e) then Wm_core.Wgt_aug_paths.feed wap e)
+              g;
+            let r = Wm_core.Wgt_aug_paths.finalize wap in
+            ( a + r.Wm_core.Wgt_aug_paths.augmentations,
+              gn
+              + M.weight r.Wm_core.Wgt_aug_paths.m2
+              - M.weight m0 ))
+          (0, 0)
+          (seeds_list ~quick (seed * 7))
+      in
+      let trials = List.length (seeds_list ~quick (seed * 7)) in
+      R.row
+        [
+          R.cell_f p;
+          R.cell_f (float_of_int augs /. float_of_int trials);
+          R.cell_f (float_of_int gains /. float_of_int trials);
+          R.cell_f (p *. (1.0 -. p) *. (1.0 -. p));
+        ])
+    [ 0.1; 0.3; 0.5; 0.7; 0.9 ];
+  R.note
+    "recovered augmentations track p(1-p)^2 — peaking near p = 1/3 and \
+     collapsing at the extremes; p = 1/2 (the paper's choice) is within a \
+     constant factor of the peak"
+
+(* ------------------------------------------------------------------ *)
+(* T6: the genuine streaming black box vs the charged formula. *)
+
+let run_t6 ~quick ~seed =
+  R.section ~id:"T6" ~title:"real streaming black box: measured vs charged"
+    ~claim:
+      "Thm 4.1 consumes the (1-delta) bipartite matcher as a black box \
+       priced at U_S passes; the genuine multi-pass implementation \
+       (Streaming_bipartite) must meet the guarantee within that price";
+  R.table_header
+    [ "n"; "delta"; "ratio"; "passes"; "charge"; "phases" ];
+  let sizes = if quick then [ 200; 400 ] else [ 200; 400; 800 ] in
+  List.iter
+    (fun n ->
+      let grng = P.create (seed + n) in
+      let g =
+        Gen.random_bipartite grng ~left:(n / 2) ~right:(n / 2)
+          ~p:(8.0 /. float_of_int n)
+          ~weights:Gen.Unit_weight
+      in
+      let opt =
+        M.size (Wm_exact.Hopcroft_karp.solve g ~left:(B.halves (n / 2)))
+      in
+      List.iter
+        (fun delta ->
+          let s = ES.of_graph g in
+          let r =
+            Wm_algos.Streaming_bipartite.solve_stream ~delta s
+              ~left:(B.halves (n / 2))
+          in
+          R.row
+            [
+              R.cell_i n; R.cell_f delta;
+              R.cell_f (fratio (M.size r.Wm_algos.Streaming_bipartite.matching) opt);
+              R.cell_i r.Wm_algos.Streaming_bipartite.passes;
+              R.cell_i (Wm_algos.Approx_bipartite.pass_charge ~delta);
+              R.cell_i r.Wm_algos.Streaming_bipartite.phases;
+            ])
+        [ 0.5; 0.25; 0.1 ])
+    sizes;
+  R.note
+    "ratio >= 1 - delta on every row; measured passes sit at or below the \
+     U_S = k^2 + 2k worst-case charge (well below it at fine delta, where \
+     real instances exhaust their augmenting paths early) and do not grow \
+     with n"
+
+let all =
+  [
+    { id = "T1"; title = "weighted random-arrival streaming";
+      claim = "Theorem 1.1"; run = run_t1 };
+    { id = "T2"; title = "unweighted random-arrival streaming";
+      claim = "Theorem 3.4"; run = run_t2 };
+    { id = "T3"; title = "multi-pass streaming (1-eps)";
+      claim = "Theorem 1.2.2"; run = run_t3 };
+    { id = "T4"; title = "MPC (1-eps)"; claim = "Theorem 1.2.1"; run = run_t4 };
+    { id = "T5"; title = "UNW-3-AUG-PATHS bound"; claim = "Lemma 3.1";
+      run = run_t5 };
+    { id = "T6"; title = "real streaming black box"; claim = "Lemma 3.1 pricing";
+      run = run_t6 };
+    { id = "F1"; title = "memory vs n"; claim = "Lemmas 3.3/3.15"; run = run_f1 };
+    { id = "F2"; title = "ratio vs augmentation length"; claim = "Fact 1.3";
+      run = run_f2 };
+    { id = "F3"; title = "granularity/delta ablation"; claim = "Theorem 4.8";
+      run = run_f3 };
+    { id = "F4"; title = "augmenting cycles"; claim = "Section 1.1.2";
+      run = run_f4 };
+    { id = "F5"; title = "paper figures"; claim = "Figures 1-2"; run = run_f5 };
+    { id = "F6"; title = "convergence per round"; claim = "Theorem 4.1";
+      run = run_f6 };
+    { id = "A1"; title = "Eulerian decomposition ablation";
+      claim = "Lemma 4.11"; run = run_a1 };
+    { id = "A2"; title = "marking probability ablation"; claim = "Section 3.2";
+      run = run_a2 };
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.find_opt (fun e -> String.uppercase_ascii e.id = id) all
+
+let run_all ~quick ~seed =
+  List.iter (fun e -> e.run ~quick ~seed) all

@@ -1,0 +1,21 @@
+(** The experiment harness: one entry per table/figure of DESIGN.md §4.
+
+    The paper (PODC 2019 theory) has no empirical section; each
+    experiment here regenerates the empirical analogue of a theorem or
+    structural claim.  [run_all ~quick] prints every table and figure;
+    individual experiments are addressable by id for the CLI. *)
+
+type experiment = {
+  id : string;  (** "T1" ... "A2" *)
+  title : string;
+  claim : string;  (** the paper statement being regenerated *)
+  run : quick:bool -> seed:int -> unit;
+}
+
+val all : experiment list
+(** In DESIGN.md order: T1–T5, F1–F6, A1, A2. *)
+
+val find : string -> experiment option
+(** Case-insensitive lookup by id. *)
+
+val run_all : quick:bool -> seed:int -> unit

@@ -1,0 +1,42 @@
+let width = 12
+
+let pad s =
+  if String.length s >= width then s
+  else s ^ String.make (width - String.length s) ' '
+
+let section ~id ~title ~claim =
+  Printf.printf "\n=== %s — %s ===\n" id title;
+  Printf.printf "paper claim: %s\n" claim
+
+let table_header cols =
+  print_string (String.concat " " (List.map pad cols));
+  print_newline ();
+  print_string
+    (String.concat " " (List.map (fun _ -> String.make width '-') cols));
+  print_newline ()
+
+let row cells =
+  print_string (String.concat " " (List.map pad cells));
+  print_newline ()
+
+let cell_f x = Printf.sprintf "%.4f" x
+let cell_i x = string_of_int x
+let cell_s x = x
+
+let note s = Printf.printf "shape: %s\n" s
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+let mean_of f xs = mean (List.map f xs)

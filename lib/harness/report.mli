@@ -1,0 +1,31 @@
+(** Plain-text table reporting for the experiment harness.
+
+    Every experiment prints: a header naming the experiment and the
+    paper claim it regenerates, a fixed-width table of rows, and a note
+    describing the expected shape (who wins, by what factor).  The
+    formatting is deliberately stable so EXPERIMENTS.md can quote the
+    output verbatim. *)
+
+val section : id:string -> title:string -> claim:string -> unit
+(** Print the experiment banner. *)
+
+val table_header : string list -> unit
+(** Print column names and a separator; column width is fixed at 12. *)
+
+val row : string list -> unit
+
+val cell_f : float -> string
+(** Format a float as a 12-char cell with 4 decimals. *)
+
+val cell_i : int -> string
+
+val cell_s : string -> string
+
+val note : string -> unit
+(** Print a wrapped "shape:" footnote. *)
+
+val mean : float list -> float
+
+val stddev : float list -> float
+
+val mean_of : ('a -> float) -> 'a list -> float

@@ -1,0 +1,56 @@
+type t = {
+  machines : int;
+  memory_words : int;
+  mutable rounds : int;
+  mutable peak : int;
+}
+
+exception Memory_exceeded of { machine : int; used : int; capacity : int }
+
+let create ~machines ~memory_words =
+  if machines < 1 then invalid_arg "Cluster.create: need at least one machine";
+  if memory_words < 1 then invalid_arg "Cluster.create: need positive memory";
+  { machines; memory_words; rounds = 0; peak = 0 }
+
+let machines t = t.machines
+let memory_words t = t.memory_words
+let rounds t = t.rounds
+let peak_machine_memory t = t.peak
+
+let charge_rounds t k =
+  if k < 0 then invalid_arg "Cluster.charge_rounds: negative";
+  t.rounds <- t.rounds + k
+
+let check_load t ~machine ~words =
+  if words > t.peak then t.peak <- words;
+  if words > t.memory_words then
+    raise (Memory_exceeded { machine; used = words; capacity = t.memory_words })
+
+let scatter t items =
+  charge_rounds t 1;
+  let shards = Array.make t.machines [] in
+  Array.iteri (fun i x -> shards.(i mod t.machines) <- x :: shards.(i mod t.machines)) items;
+  Array.mapi
+    (fun i shard ->
+      let a = Array.of_list (List.rev shard) in
+      check_load t ~machine:i ~words:(Array.length a);
+      a)
+    shards
+
+let broadcast t ~words =
+  charge_rounds t 2;
+  for i = 0 to t.machines - 1 do
+    check_load t ~machine:i ~words
+  done
+
+let gather t shards =
+  charge_rounds t 1;
+  let total = Array.fold_left (fun acc s -> acc + Array.length s) 0 shards in
+  check_load t ~machine:0 ~words:total;
+  Array.concat (Array.to_list shards)
+
+let run_round t f shard_inputs =
+  if Array.length shard_inputs <> t.machines then
+    invalid_arg "Cluster.run_round: one input per machine expected";
+  charge_rounds t 1;
+  Array.map f shard_inputs

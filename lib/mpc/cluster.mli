@@ -1,0 +1,50 @@
+(** The MPC (massively parallel computation) model substrate.
+
+    A cluster is [machines] machines with [memory_words] words each;
+    computation proceeds in synchronous rounds and data moves between
+    machines only at round boundaries.  The simulator executes the
+    local computation natively but {e meters} the two quantities the
+    model charges for — rounds, and per-machine memory — and raises
+    when a machine would exceed its memory, so that experiment T4 can
+    verify the paper's [O_eps(log log n)]-rounds / [O~(n)]-memory
+    claims structurally. *)
+
+type t
+
+exception Memory_exceeded of { machine : int; used : int; capacity : int }
+
+val create : machines:int -> memory_words:int -> t
+
+val machines : t -> int
+val memory_words : t -> int
+
+val rounds : t -> int
+(** Communication rounds elapsed so far. *)
+
+val peak_machine_memory : t -> int
+(** Largest per-machine load observed in any round. *)
+
+val charge_rounds : t -> int -> unit
+(** Account for rounds performed by a black-box subroutine. *)
+
+val check_load : t -> machine:int -> words:int -> unit
+(** Record that a machine holds [words] this round; raises
+    {!Memory_exceeded} if over capacity. *)
+
+val scatter : t -> 'a array -> 'a array array
+(** Distribute items round-robin over the machines: one round; each
+    shard's size is checked against machine memory. *)
+
+val broadcast : t -> words:int -> unit
+(** Charge the two-step broadcast of [words] words to every machine
+    (Section 4.4's MPC implementation detail): two rounds, and every
+    machine must be able to hold the broadcast data. *)
+
+val gather : t -> 'a array array -> 'a array
+(** Collect all shards onto one machine: one round; the concatenation
+    must fit in a single machine's memory. *)
+
+val run_round : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [run_round t f shard_inputs] executes one synchronous round: [f] is
+    applied to each machine's input (machine [i] gets
+    [shard_inputs.(i mod machines)]). *)

@@ -1,0 +1,103 @@
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+module E = Wm_graph.Edge
+module P = Wm_graph.Prng
+
+let greedy_on_machine cluster edges ~n =
+  Cluster.check_load cluster ~machine:0 ~words:(Array.length edges);
+  Cluster.charge_rounds cluster 1;
+  let m = M.create n in
+  Array.iter (fun e -> ignore (M.try_add m e)) edges;
+  m
+
+let filtering_maximal cluster rng g =
+  let n = G.n g in
+  let capacity = Cluster.memory_words cluster in
+  let matching = M.create n in
+  let alive v = not (M.is_matched matching v) in
+  let residual edges =
+    Array.of_seq
+      (Seq.filter
+         (fun e ->
+           let u, v = E.endpoints e in
+           alive u && alive v)
+         (Array.to_seq edges))
+  in
+  let edges = ref (Array.copy (G.edges g)) in
+  (* Initial distribution of the input across machines. *)
+  ignore (Cluster.scatter cluster !edges);
+  let continue = ref true in
+  while !continue do
+    let live = residual !edges in
+    if Array.length live = 0 then continue := false
+    else begin
+      (* Sample each residual edge with probability min(1, capacity/|E|);
+         matched greedily on one machine, then filter. *)
+      let p =
+        Stdlib.min 1.0 (float_of_int capacity /. (2.0 *. float_of_int (Array.length live)))
+      in
+      let sample =
+        Array.of_seq
+          (Seq.filter (fun _ -> P.bernoulli rng p) (Array.to_seq live))
+      in
+      (* One round to collect the sample, one to match it. *)
+      Cluster.charge_rounds cluster 1;
+      let local = greedy_on_machine cluster sample ~n in
+      M.iter (fun e -> ignore (M.try_add matching e)) local;
+      (* Broadcast the matched-vertex set so machines can filter. *)
+      Cluster.broadcast cluster ~words:(2 * M.size matching);
+      let next = residual live in
+      (* If sampling made no progress (tiny graphs, unlucky draw), finish
+         the remainder on one machine when it fits. *)
+      if Array.length next = Array.length live then
+        if Array.length next <= capacity then begin
+          let local = greedy_on_machine cluster next ~n in
+          M.iter (fun e -> ignore (M.try_add matching e)) local;
+          continue := false
+        end
+        else ()
+      else edges := next
+    end
+  done;
+  matching
+
+(* Weighted greedy via the unweighted maximal-matching black box, in the
+   style of [LPP15] section 4 as cited by the paper's related work:
+   bucket edges into doubling weight classes and, from the heaviest
+   class down, add a maximal matching among the class's edges whose
+   endpoints are still free.  Constant-factor approximate, and each
+   class costs one filtering run of the simulator. *)
+let weighted_greedy_by_class cluster rng g =
+  let n = G.n g in
+  let matching = M.create n in
+  let classes = Hashtbl.create 16 in
+  G.iter_edges
+    (fun e ->
+      let w = E.weight e in
+      if w >= 1 then begin
+        let rec bits acc w = if w = 0 then acc else bits (acc + 1) (w lsr 1) in
+        let cls = bits 0 w in
+        let cur = match Hashtbl.find_opt classes cls with Some l -> l | None -> [] in
+        Hashtbl.replace classes cls (e :: cur)
+      end)
+    g;
+  let class_ids =
+    Hashtbl.fold (fun c _ acc -> c :: acc) classes []
+    |> List.sort (fun a b -> Int.compare b a)
+  in
+  List.iter
+    (fun cls ->
+      let free_edges =
+        List.filter
+          (fun e ->
+            let u, v = E.endpoints e in
+            (not (M.is_matched matching u)) && not (M.is_matched matching v))
+          (Hashtbl.find classes cls)
+      in
+      if free_edges <> [] then begin
+        let sub = G.create ~n free_edges in
+        let sub_matching = filtering_maximal cluster rng sub in
+        M.iter (fun e -> M.add matching e) sub_matching
+      end)
+    class_ids;
+  matching

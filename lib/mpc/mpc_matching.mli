@@ -1,0 +1,35 @@
+(** Matching algorithms executed inside the MPC simulator.
+
+    [filtering_maximal] is the classic LMSV11 "filtering" algorithm:
+    repeatedly sample a subgraph that fits one machine, compute a greedy
+    matching there, drop matched vertices, and recurse on the remainder.
+    With machine memory [S] it terminates in [O(m / S)]-ish phases
+    (O(1) phases when [S = Omega(n^(1+delta))], [O(log n)]-ish when
+    [S = O~(n)]), each costing a constant number of simulator rounds.
+    It is the in-model maximal-matching baseline for experiment T4. *)
+
+val filtering_maximal :
+  Cluster.t ->
+  Wm_graph.Prng.t ->
+  Wm_graph.Weighted_graph.t ->
+  Wm_graph.Matching.t
+(** Maximal matching of the graph computed under the cluster's round and
+    memory discipline.  Raises {!Cluster.Memory_exceeded} if the
+    residual subgraph sample cannot fit a machine. *)
+
+val greedy_on_machine :
+  Cluster.t -> Wm_graph.Edge.t array -> n:int -> Wm_graph.Matching.t
+(** One-round greedy matching over an edge set held by a single machine
+    (memory-checked). *)
+
+val weighted_greedy_by_class :
+  Cluster.t ->
+  Wm_graph.Prng.t ->
+  Wm_graph.Weighted_graph.t ->
+  Wm_graph.Matching.t
+(** The LPP15-style weighted baseline the paper's related work cites:
+    doubling weight classes processed heaviest-first, each via
+    {!filtering_maximal} on the residual class subgraph.  A
+    constant-factor approximation whose round bill is one filtering run
+    per non-empty class; the in-model weighted comparator for
+    experiment T4. *)

@@ -1,0 +1,47 @@
+module G = Wm_graph.Weighted_graph
+module E = Wm_graph.Edge
+
+type order =
+  | As_given
+  | Random of Wm_graph.Prng.t
+  | Increasing_weight
+  | Decreasing_weight
+
+type t = { n : int; edges : E.t array; mutable passes : int }
+
+let arrange order edges =
+  let edges = Array.copy edges in
+  (match order with
+  | As_given -> ()
+  | Random rng -> Wm_graph.Prng.shuffle_in_place rng edges
+  | Increasing_weight ->
+      Array.sort (fun a b -> Int.compare (E.weight a) (E.weight b)) edges
+  | Decreasing_weight ->
+      Array.sort (fun a b -> Int.compare (E.weight b) (E.weight a)) edges);
+  edges
+
+let of_graph ?(order = As_given) g =
+  { n = G.n g; edges = arrange order (G.edges g); passes = 0 }
+
+let of_edges ?(order = As_given) ~n edges =
+  { n; edges = arrange order (Array.of_list edges); passes = 0 }
+
+let graph_n t = t.n
+let length t = Array.length t.edges
+let passes t = t.passes
+
+let iter t f =
+  t.passes <- t.passes + 1;
+  Array.iter f t.edges
+
+let iteri t f =
+  t.passes <- t.passes + 1;
+  Array.iteri f t.edges
+
+let charge_passes t k =
+  if k < 0 then invalid_arg "Edge_stream.charge_passes: negative";
+  t.passes <- t.passes + k
+
+let nth t i = t.edges.(i)
+
+let to_ordered_graph t = G.of_array ~n:t.n t.edges

@@ -1,0 +1,27 @@
+type t = { mutable current : int; mutable peak : int }
+
+let create () = { current = 0; peak = 0 }
+
+let bump t =
+  if t.current > t.peak then t.peak <- t.current
+
+let retain t k =
+  t.current <- t.current + k;
+  bump t
+
+let release t k =
+  if k > t.current then invalid_arg "Space_meter.release: below zero";
+  t.current <- t.current - k
+
+let set_current t k =
+  t.current <- k;
+  bump t
+
+let current t = t.current
+let peak t = t.peak
+
+let reset t =
+  t.current <- 0;
+  t.peak <- 0
+
+let merge_peaks meters = List.fold_left (fun acc m -> acc + m.peak) 0 meters

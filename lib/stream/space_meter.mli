@@ -1,0 +1,32 @@
+(** Accounting of algorithm-retained memory in the streaming model.
+
+    Streaming algorithms are charged for every edge (or word) they retain
+    across stream elements; the meter records the current and peak
+    retained counts so that experiments can verify the paper's
+    [O(n polylog n)] memory claims (Lemmas 3.3 and 3.15) empirically. *)
+
+type t
+
+val create : unit -> t
+
+val retain : t -> int -> unit
+(** [retain t k] records that [k] more words are now held. *)
+
+val release : t -> int -> unit
+(** [release t k] records that [k] words were dropped.
+    Raises [Invalid_argument] if more is released than held. *)
+
+val set_current : t -> int -> unit
+(** [set_current t k] overrides the current holding (convenient when a
+    data structure is resized wholesale). *)
+
+val current : t -> int
+
+val peak : t -> int
+(** Highest value [current] ever reached. *)
+
+val reset : t -> unit
+
+val merge_peaks : t list -> int
+(** Sum of peaks — an upper bound on the peak of algorithms running in
+    parallel on the same stream. *)

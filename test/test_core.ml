@@ -1,0 +1,1002 @@
+(* Tests for wm_core: Aug, Weight_class, Tau, Layered, Decompose,
+   Params, Wgt_aug_paths, Random_arrival, Aug_class, Main_alg,
+   Model_driver. *)
+
+module E = Wm_graph.Edge
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+module P = Wm_graph.Prng
+module B = Wm_graph.Bipartition
+module Gen = Wm_graph.Gen
+module ES = Wm_stream.Edge_stream
+module A = Wm_core.Aug
+module WC = Wm_core.Weight_class
+module Tau = Wm_core.Tau
+module Layered = Wm_core.Layered
+module Decompose = Wm_core.Decompose
+module Params = Wm_core.Params
+module WAP = Wm_core.Wgt_aug_paths
+module RA = Wm_core.Random_arrival
+module AC = Wm_core.Aug_class
+module MA = Wm_core.Main_alg
+module MD = Wm_core.Model_driver
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Aug *)
+
+let fig1 = Gen.paper_fig1
+
+let test_aug_path_gain () =
+  let _, m = fig1 () in
+  (* Path a-c-d-f: add ac (4) and df (4), remove cd (5): gain 3. *)
+  let p = A.Path [ E.make 0 2 4; E.make 2 3 5; E.make 3 5 4 ] in
+  check "gain" 3 (A.gain p m);
+  check_bool "alternating" true (A.is_alternating p m);
+  check_bool "wellformed" true (A.is_wellformed p);
+  check "length" 3 (A.length p);
+  check "weight" 13 (A.weight p)
+
+let test_aug_bad_path_gain () =
+  let _, m = fig1 () in
+  (* Path b-c-d-e is unweighted-augmenting but loses weight: 2+2-5. *)
+  let p = A.Path [ E.make 1 2 2; E.make 2 3 5; E.make 3 4 2 ] in
+  check "negative gain" (-1) (A.gain p m);
+  check_bool "not augmenting" false (A.is_augmenting p m)
+
+let test_aug_neighborhood_off_path () =
+  (* A single-edge path whose endpoints are matched elsewhere: the
+     neighborhood contains both off-path matched edges. *)
+  let m = M.of_edges 4 [ E.make 0 1 3; E.make 2 3 4 ] in
+  let p = A.Path [ E.make 1 2 10 ] in
+  check "neighborhood size" 2 (List.length (A.matching_neighborhood p m));
+  check "gain" 3 (A.gain p m)
+
+let test_aug_apply_path () =
+  let g, m = fig1 () in
+  let m = M.copy m in
+  let p = A.Path [ E.make 0 2 4; E.make 2 3 5; E.make 3 5 4 ] in
+  A.apply p m;
+  check "new weight" 8 (M.weight m);
+  check_bool "valid" true (M.is_valid_in m g)
+
+let test_aug_apply_cycle () =
+  let g, m = Gen.paper_four_cycle () in
+  let m = M.copy m in
+  let c =
+    A.Cycle [ E.make 0 1 3; E.make 1 2 4; E.make 2 3 3; E.make 3 0 4 ]
+  in
+  check "cycle gain" 2 (A.gain c m);
+  check_bool "alternating" true (A.is_alternating c m);
+  A.apply c m;
+  check "optimal" 8 (M.weight m);
+  check_bool "valid" true (M.is_valid_in m g)
+
+let test_aug_apply_is_gain () =
+  (* apply changes the weight by exactly the computed gain. *)
+  let rng = P.create 3 in
+  for _ = 1 to 20 do
+    let g = Gen.gnp rng ~n:10 ~p:0.5 ~weights:(Gen.Uniform (1, 9)) in
+    let m = Wm_algos.Greedy.by_weight g in
+    (* Try every single-edge augmentation. *)
+    G.iter_edges
+      (fun e ->
+        if not (M.mem m e) then begin
+          let p = A.Path [ e ] in
+          let gain = A.gain p m in
+          let m' = M.copy m in
+          A.apply p m';
+          check "delta = gain" (M.weight m + gain) (M.weight m')
+        end)
+      g
+  done
+
+let test_aug_cycle_wraparound_alternation () =
+  let m = M.of_edges 4 [ E.make 0 1 3; E.make 1 2 4 |> fun _ -> E.make 2 3 3 ] in
+  (* Cycle listed starting with an unmatched edge: wrap-around must be
+     checked. *)
+  let c = A.Cycle [ E.make 1 2 4; E.make 2 3 3; E.make 3 0 4; E.make 0 1 3 ] in
+  check_bool "alternating despite rotation" true (A.is_alternating c m)
+
+let test_aug_malformed () =
+  let p = A.Path [ E.make 0 1 1; E.make 2 3 1 ] in
+  check_bool "disconnected" false (A.is_wellformed p);
+  let p2 = A.Path [ E.make 0 1 1; E.make 1 2 1; E.make 2 0 1; E.make 0 3 1 ] in
+  check_bool "self-intersecting" false (A.is_wellformed p2)
+
+let test_aug_conflicts () =
+  let p1 = A.Path [ E.make 0 1 1 ] in
+  let p2 = A.Path [ E.make 1 2 1 ] in
+  let p3 = A.Path [ E.make 2 3 1 ] in
+  check_bool "share vertex" true (A.conflicts p1 p2);
+  check_bool "disjoint" false (A.conflicts p1 p3)
+
+let test_aug_touched_vertices () =
+  let m = M.of_edges 6 [ E.make 0 1 3; E.make 2 3 4 ] in
+  let p = A.Path [ E.make 1 2 10 ] in
+  let touched = List.sort Int.compare (A.touched_vertices p m) in
+  Alcotest.(check (list int)) "C plus neighborhood" [ 0; 1; 2; 3 ] touched
+
+(* ------------------------------------------------------------------ *)
+(* Weight_class *)
+
+let test_doubling_class () =
+  check "w=1" 1 (WC.doubling_class 1);
+  check "w=2" 2 (WC.doubling_class 2);
+  check "w=3" 2 (WC.doubling_class 3);
+  check "w=4" 3 (WC.doubling_class 4);
+  check "w=1023" 10 (WC.doubling_class 1023);
+  check "w=1024" 11 (WC.doubling_class 1024)
+
+let test_doubling_lower () =
+  check "class 1" 1 (WC.doubling_lower 1);
+  check "class 5" 16 (WC.doubling_lower 5);
+  for w = 1 to 100 do
+    let c = WC.doubling_class w in
+    check_bool "lower <= w" true (WC.doubling_lower c <= w);
+    check_bool "w < 2*lower" true (w < 2 * WC.doubling_lower c)
+  done
+
+let test_geometric_scales () =
+  let scales = WC.geometric_scales ~ratio:2.0 ~max_value:10.0 in
+  Alcotest.(check (list (float 1e-9))) "powers of two" [ 1.; 2.; 4.; 8.; 16. ] scales
+
+let test_scale_floor () =
+  Alcotest.(check (float 1e-9)) "floor of 10" 8.0 (WC.scale_floor ~ratio:2.0 10.0);
+  Alcotest.(check (float 1e-9)) "floor of 8" 8.0 (WC.scale_floor ~ratio:2.0 8.0);
+  Alcotest.(check (float 1e-9)) "floor below 1" 1.0 (WC.scale_floor ~ratio:2.0 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Tau *)
+
+let tp = Tau.make_params ~granularity:0.25 ~max_layers:5 ~slack:0.0
+
+let test_tau_good_pair () =
+  check_bool "good" true (Tau.is_good tp { Tau.a = [| 0; 2; 0 |]; b = [| 2; 2 |] });
+  (* (F) violated: sum b - sum a = 0 *)
+  check_bool "no gain" false (Tau.is_good tp { Tau.a = [| 0; 4; 0 |]; b = [| 2; 2 |] });
+  (* (D) violated: interior a < 2 *)
+  check_bool "small interior" false
+    (Tau.is_good tp { Tau.a = [| 0; 1; 0 |]; b = [| 2; 2 |] });
+  (* (E) violated: sum b > (1+slack)/g = 4 *)
+  check_bool "budget" false (Tau.is_good tp { Tau.a = [| 0; 2; 0 |]; b = [| 3; 2 |] });
+  (* (A) violated: too many layers *)
+  check_bool "layers" false
+    (Tau.is_good
+       (Tau.make_params ~granularity:0.25 ~max_layers:2 ~slack:0.0)
+       { Tau.a = [| 0; 2; 0 |]; b = [| 2; 2 |] });
+  (* (B) violated *)
+  check_bool "shape" false (Tau.is_good tp { Tau.a = [| 0; 0 |]; b = [| 2; 2 |] })
+
+let test_tau_buckets () =
+  check "up exact" 4 (Tau.bucket_up ~granule:1.0 4);
+  check "up above" 5 (Tau.bucket_up ~granule:1.0 5);
+  check "up fractional" 3 (Tau.bucket_up ~granule:2.0 5);
+  check "down exact" 4 (Tau.bucket_down ~granule:1.0 4);
+  check "down fractional" 2 (Tau.bucket_down ~granule:2.0 5);
+  check "zero weight" 0 (Tau.bucket_up ~granule:1.0 0)
+
+let test_tau_bucket_inverse () =
+  (* bucket_up k * granule >= w > (bucket_up k - 1) * granule *)
+  let granule = 0.75 in
+  for w = 1 to 50 do
+    let bu = Tau.bucket_up ~granule w in
+    check_bool "up covers" true (float_of_int bu *. granule >= float_of_int w -. 1e-6);
+    check_bool "up tight" true
+      (float_of_int (bu - 1) *. granule < float_of_int w);
+    let bd = Tau.bucket_down ~granule w in
+    check_bool "down covers" true (float_of_int bd *. granule <= float_of_int w +. 1e-6);
+    check_bool "down tight" true
+      (float_of_int (bd + 1) *. granule > float_of_int w)
+  done
+
+let test_tau_enumerate_all_good () =
+  let pairs = Tau.enumerate tp ~max_pairs:100000 in
+  check_bool "nonempty" true (pairs <> []);
+  List.iter (fun pr -> check_bool "each good" true (Tau.is_good tp pr)) pairs;
+  (* Deduped *)
+  check "no duplicates" (List.length pairs) (List.length (Tau.dedup pairs))
+
+let test_tau_enumerate_cap () =
+  let pairs = Tau.enumerate tp ~max_pairs:3 in
+  check "capped" 3 (List.length pairs)
+
+let test_tau_enumerate_k1 () =
+  let pairs = Tau.enumerate_k1 tp ~a_values:[ 2; 3 ] ~b_values:[ 3; 4 ] in
+  List.iter
+    (fun pr ->
+      check "two a-layers" 2 (Tau.layers pr);
+      check_bool "good" true (Tau.is_good tp pr))
+    pairs;
+  (* a=[0;0] b=[3] and b=[4]; a=[0;2] b=[3],[4]; a=[2;0]...; a=[0;3] b=[4];
+     a=[3;0] b=[4]; a=[2;2]? sum b - sum a >= 1 fails for b=4? 4-4=0 no. *)
+  check_bool "contains the free-free pair" true
+    (List.exists (fun pr -> pr.Tau.a = [| 0; 0 |] && pr.Tau.b = [| 3 |]) pairs)
+
+let test_tau_homogeneous () =
+  let pairs = Tau.homogeneous tp ~a_values:[ 2 ] ~b_values:[ 3 ] in
+  check_bool "nonempty" true (pairs <> []);
+  List.iter (fun pr -> check_bool "good" true (Tau.is_good tp pr)) pairs
+
+let test_tau_sample () =
+  let rng = P.create 3 in
+  let pairs = Tau.sample tp rng ~a_values:[ 2; 3 ] ~b_values:[ 2; 3; 4 ] ~count:200 in
+  List.iter (fun pr -> check_bool "good" true (Tau.is_good tp pr)) pairs;
+  check "deduped" (List.length pairs) (List.length (Tau.dedup pairs))
+
+let test_tau_capture_path () =
+  (* fig1's a-c-d-f path at W = 13, granularity 0.25: granule 3.25;
+     buckets: cd (5) up -> 2; ac, df (4) down -> 1... bucket 1 < 2 means
+     not capturable at this coarse granularity; use a finer one. *)
+  let tp_fine = Tau.make_params ~granularity:0.125 ~max_layers:5 ~slack:0.0 in
+  (* W is the class scale below the path weight 13: scale_floor -> 8. *)
+  let granule = 0.125 *. 8.0 in
+  let mid = Tau.bucket_up ~granule 5 in
+  let o = Tau.bucket_down ~granule 4 in
+  match
+    Tau.capture_path tp_fine ~a_buckets:[ 0; mid; 0 ] ~b_buckets:[ o; o ]
+  with
+  | Some pr -> check_bool "captures fig1 path" true (Tau.is_good tp_fine pr)
+  | None -> Alcotest.fail "fig1 path should be capturable at granularity 1/8"
+
+let test_tau_capture_cycle () =
+  (* The (3,4,3,4) cycle: repetitions 2 at W = 16 with granularity 1/32. *)
+  let tp32 = Tau.make_params ~granularity:(1.0 /. 32.0) ~max_layers:9 ~slack:0.0 in
+  let granule = 16.0 /. 32.0 in
+  let ma = Tau.bucket_up ~granule 3 in
+  let ub = Tau.bucket_down ~granule 4 in
+  match
+    Tau.capture_cycle tp32 ~a_buckets:[ ma; ma ] ~b_buckets:[ ub; ub ]
+      ~repetitions:2
+  with
+  | Some pr ->
+      check "layers = 2*2*2+1" 5 (Tau.layers pr);
+      check_bool "good" true (Tau.is_good tp32 pr)
+  | None -> Alcotest.fail "4-cycle should be capturable"
+
+(* ------------------------------------------------------------------ *)
+(* Layered + Decompose *)
+
+(* Deterministic parametrization of fig1 capturing the a-c-d-f path:
+   need a in R, c in L, d in R, f in L (or mirrored). *)
+let fig1_layered () =
+  let g, m = fig1 () in
+  (*            a      b      c     d      e      f    *)
+  let side = [| false; false; true; false; false; true |] in
+  let gp = Layered.parametrize_with ~side g m in
+  let tp = Tau.make_params ~granularity:0.125 ~max_layers:5 ~slack:0.0 in
+  let scale = 8.0 in
+  let granule = 0.125 *. scale in
+  let mid = Tau.bucket_up ~granule 5 in
+  let o = Tau.bucket_down ~granule 4 in
+  let pair = { Tau.a = [| 0; mid; 0 |]; b = [| o; o |] } in
+  check_bool "pair is good" true (Tau.is_good tp pair);
+  (gp, Layered.build tp gp pair ~scale)
+
+let test_layered_structure () =
+  let _, lay = fig1_layered () in
+  check "three layers" 3 lay.Layered.layer_count;
+  check "init = middle copy of cd" 1 (M.size lay.Layered.init);
+  (* Edges: the cd copy in layer 2 plus Y edges ac (1->2) and df (2->3). *)
+  check "edge count" 3 (Layered.edge_count lay);
+  check_bool "bipartite" true
+    (G.is_bipartition lay.Layered.lgraph ~left:(Layered.left lay))
+
+let test_layered_aug_path_found () =
+  let _, lay = fig1_layered () in
+  let m' =
+    Wm_algos.Approx_bipartite.solve ~init:lay.Layered.init ~delta:0.0
+      lay.Layered.lgraph ~left:(Layered.left lay)
+  in
+  match Layered.augmenting_paths lay m' with
+  | [ path ] -> check "three edges" 3 (List.length path)
+  | l -> Alcotest.failf "expected one augmenting path, got %d" (List.length l)
+
+let test_layered_project_and_decompose () =
+  let _, lay = fig1_layered () in
+  let m' =
+    Wm_algos.Approx_bipartite.solve ~init:lay.Layered.init ~delta:0.0
+      lay.Layered.lgraph ~left:(Layered.left lay)
+  in
+  match Layered.augmenting_paths lay m' with
+  | [ path ] -> (
+      let verts, edges = Decompose.project ~base_n:lay.Layered.base_n path in
+      check "four vertices" 4 (List.length verts);
+      match Decompose.decompose ~verts ~edges with
+      | [ A.Path es ] ->
+          let _, m = fig1 () in
+          check "gain 3" 3 (A.gain (A.Path es) m)
+      | other -> Alcotest.failf "expected one path, got %d comps" (List.length other))
+  | l -> Alcotest.failf "expected one augmenting path, got %d" (List.length l)
+
+let test_layered_filtering_drops_light_edges () =
+  let g, m = fig1 () in
+  let side = [| false; false; true; false; false; true |] in
+  let gp = Layered.parametrize_with ~side g m in
+  let tp = Tau.make_params ~granularity:0.125 ~max_layers:5 ~slack:0.0 in
+  (* Demand unmatched bucket far above any actual edge: no Y edges. *)
+  let pair = { Tau.a = [| 0; 2; 0 |]; b = [| 7; 7 |] } in
+  let lay = Layered.build tp gp pair ~scale:8.0 in
+  check "only the matched copy survives"
+    (M.size lay.Layered.init)
+    (Layered.edge_count lay)
+
+let test_layered_respects_orientation () =
+  (* With every vertex on the same side nothing crosses: empty graph. *)
+  let g, m = fig1 () in
+  let side = Array.make 6 true in
+  let gp = Layered.parametrize_with ~side g m in
+  let tp = Tau.make_params ~granularity:0.125 ~max_layers:5 ~slack:0.0 in
+  let pair = { Tau.a = [| 0; 2; 0 |]; b = [| 3; 3 |] } in
+  let lay = Layered.build tp gp pair ~scale:8.0 in
+  check "no edges" 0 (Layered.edge_count lay)
+
+let test_decompose_simple_walk () =
+  (* A simple path decomposes to itself. *)
+  let edges = [ E.make 0 1 1; E.make 1 2 2; E.make 2 3 3 ] in
+  match Decompose.decompose ~verts:[ 0; 1; 2; 3 ] ~edges with
+  | [ A.Path es ] -> check "unchanged" 3 (List.length es)
+  | _ -> Alcotest.fail "expected a single path"
+
+let test_decompose_extracts_cycle () =
+  (* Walk 0-1-2-0-3: the 0-1-2-0 loop pops as a cycle, leaving 0-3. *)
+  let edges =
+    [ E.make 0 1 1; E.make 1 2 1; E.make 2 0 1; E.make 0 3 1 ]
+  in
+  let comps = Decompose.decompose ~verts:[ 0; 1; 2; 0; 3 ] ~edges in
+  let cycles = List.filter (function A.Cycle _ -> true | A.Path _ -> false) comps in
+  let paths = List.filter (function A.Path _ -> true | A.Cycle _ -> false) comps in
+  check "one cycle" 1 (List.length cycles);
+  check "one path" 1 (List.length paths);
+  (match cycles with
+  | [ A.Cycle es ] -> check "cycle length" 3 (List.length es)
+  | _ -> Alcotest.fail "cycle expected");
+  match paths with
+  | [ A.Path es ] -> check "path length" 1 (List.length es)
+  | _ -> Alcotest.fail "path expected"
+
+let test_decompose_pure_cycle () =
+  (* Walk returning to its start collapses entirely into cycles. *)
+  let edges = [ E.make 0 1 1; E.make 1 2 1; E.make 2 3 1; E.make 3 0 1 ] in
+  match Decompose.decompose ~verts:[ 0; 1; 2; 3; 0 ] ~edges with
+  | [ A.Cycle es ] -> check "full cycle" 4 (List.length es)
+  | _ -> Alcotest.fail "expected one cycle"
+
+let test_decompose_nonsimple_paper_example () =
+  (* The Section 1.1.2 walk a-b-c-d-b(-a): with repeats; decompose must
+     produce simple components only. *)
+  let edges =
+    [ E.make 0 1 1; E.make 1 2 2; E.make 2 3 1; E.make 3 1 2 ]
+  in
+  let comps = Decompose.decompose ~verts:[ 0; 1; 2; 3; 1 ] ~edges in
+  List.iter (fun c -> check_bool "wellformed" true (A.is_wellformed c)) comps;
+  check "two components" 2 (List.length comps)
+
+let test_decompose_count_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Decompose.decompose: vertex/edge count mismatch")
+    (fun () -> ignore (Decompose.decompose ~verts:[ 0 ] ~edges:[ E.make 0 1 1 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Params *)
+
+let test_params_practical () =
+  let p = Params.practical ~epsilon:0.2 () in
+  check_bool "granularity sane" true (p.Params.granularity > 0.0);
+  check "iterations" 20 (p.Params.max_iterations);
+  check_bool "combine on" true p.Params.combine_pairs
+
+let test_params_paper_formulas () =
+  let p = Params.paper ~epsilon:0.0625 in
+  (* granularity = eps^12 *)
+  check_bool "granularity formula" true
+    (Float.abs (p.Params.granularity -. (0.0625 ** 12.0)) < 1e-18);
+  (* max_layers = 2/eps * 16/eps + 1 = 32 * 256 + 1 *)
+  check "layers formula" 8193 p.Params.max_layers;
+  (* delta = eps^(28+900/eps^2) underflows to 0 *)
+  check_bool "delta tiny" true (p.Params.delta < 1e-300)
+
+let test_params_bad_epsilon () =
+  Alcotest.check_raises "eps too big"
+    (Invalid_argument "Params.paper: the paper assumes epsilon <= 1/16")
+    (fun () -> ignore (Params.paper ~epsilon:0.5))
+
+(* ------------------------------------------------------------------ *)
+(* Wgt_aug_paths (Algorithm 1) *)
+
+let test_wap_finds_planted_weighted () =
+  let prng = P.create 41 in
+  let g, m0 =
+    Gen.planted_three_augmentations prng ~k:30 ~spare:5
+      ~weights:(Gen.Uniform (4, 64))
+  in
+  let rng = P.create 42 in
+  let wap = WAP.create ~rng ~m0 () in
+  G.iter_edges (fun e -> if not (M.mem m0 e) then WAP.feed wap e) g;
+  let r = WAP.finalize wap in
+  check_bool "some middles marked" true (r.WAP.marked > 0);
+  check_bool "weight improves" true (M.weight r.WAP.matching > M.weight m0);
+  check_bool "m2 valid" true (M.is_valid_in r.WAP.m2 g)
+
+let test_wap_augmentations_are_gainful () =
+  let prng = P.create 43 in
+  let g, m0 =
+    Gen.planted_three_augmentations prng ~k:20 ~spare:0
+      ~weights:(Gen.Geometric_classes 6)
+  in
+  let rng = P.create 44 in
+  let wap = WAP.create ~rng ~m0 () in
+  G.iter_edges (fun e -> if not (M.mem m0 e) then WAP.feed wap e) g;
+  let r = WAP.finalize wap in
+  (* Every applied augmentation had positive gain, so M2 >= M0 always. *)
+  check_bool "m2 never below m0" true (M.weight r.WAP.m2 >= M.weight m0)
+
+let test_wap_excess_path () =
+  (* A single heavy edge across two matched edges: the excess-weight
+     (M1) branch must capture it. *)
+  let m0 = M.of_edges 4 [ E.make 0 1 3; E.make 2 3 3 ] in
+  let rng = P.create 45 in
+  let wap = WAP.create ~rng ~m0 () in
+  WAP.feed wap (E.make 1 2 100);
+  let r = WAP.finalize wap in
+  check "m1 takes the heavy edge" 100 (M.weight r.WAP.m1);
+  check "best is m1" 100 (M.weight r.WAP.matching)
+
+let test_wap_no_feed_no_change () =
+  let m0 = M.of_edges 4 [ E.make 0 1 3 ] in
+  let rng = P.create 46 in
+  let wap = WAP.create ~rng ~m0 () in
+  let r = WAP.finalize wap in
+  check "unchanged" 3 (M.weight r.WAP.matching);
+  check "no augs" 0 r.WAP.augmentations
+
+let test_wap_filter_thresholds () =
+  (* A candidate side edge below the (1+2alpha) threshold must not be
+     forwarded. *)
+  let m0 = M.of_edges 4 [ E.make 1 2 10 ] in
+  let rng = P.create 47 in
+  (* Find a seed where the middle edge is marked. *)
+  let rec find_marked seed =
+    let wap = WAP.create ~rng:(P.create seed) ~m0 () in
+    if WAP.marked_count wap = 1 then wap else find_marked (seed + 1)
+  in
+  ignore rng;
+  let wap = find_marked 0 in
+  (* w(M0 u)/2 = 5; threshold = (1+0.04)*5 = 5.2; feed weight 5: no. *)
+  WAP.feed wap (E.make 0 1 5);
+  check "below threshold not forwarded" 0 (WAP.forwarded_count wap);
+  (* Weight 6 >= 5.2: forwarded. *)
+  WAP.feed wap (E.make 0 1 6 |> fun _ -> E.make 3 2 6);
+  check "above threshold forwarded" 1 (WAP.forwarded_count wap)
+
+(* ------------------------------------------------------------------ *)
+(* Random_arrival (Algorithm 2) *)
+
+let test_ra_valid_output () =
+  let grng = P.create 51 in
+  let g = Gen.gnp grng ~n:120 ~p:0.1 ~weights:(Gen.Uniform (1, 50)) in
+  let s = ES.of_graph ~order:(ES.Random (P.create 52)) g in
+  let r = RA.run ~rng:(P.create 53) s in
+  check_bool "valid" true (M.is_valid_in r.RA.matching g);
+  check_bool "best of m1 m2" true
+    (M.weight r.RA.matching = Stdlib.max r.RA.m1_weight r.RA.m2_weight);
+  check_bool "m0 recorded" true (r.RA.m0_weight > 0)
+
+let test_ra_beats_half_on_average () =
+  let grng = P.create 54 in
+  let g =
+    Gen.random_bipartite grng ~left:60 ~right:60 ~p:0.15
+      ~weights:(Gen.Uniform (1, 100))
+  in
+  let opt = M.weight (Wm_exact.Hungarian.solve g ~left:(B.halves 60)) in
+  let total = ref 0 in
+  let trials = 8 in
+  for i = 1 to trials do
+    let s = ES.of_graph ~order:(ES.Random (P.create (60 + i))) g in
+    total := !total + M.weight (RA.solve ~rng:(P.create (70 + i)) s)
+  done;
+  check_bool "above 0.6 of OPT on random arrivals" true
+    (float_of_int !total /. float_of_int trials
+    >= 0.6 *. float_of_int opt)
+
+let test_ra_memory_is_metered () =
+  let grng = P.create 55 in
+  let g = Gen.gnp grng ~n:150 ~p:0.2 ~weights:(Gen.Uniform (1, 30)) in
+  let meter = Wm_stream.Space_meter.create () in
+  let s = ES.of_graph ~order:(ES.Random (P.create 56)) g in
+  ignore (RA.run ~meter ~rng:(P.create 57) s);
+  check_bool "meter saw retained edges" true (Wm_stream.Space_meter.peak meter > 0);
+  check_bool "far below m" true (Wm_stream.Space_meter.peak meter < G.m g)
+
+let test_ra_tiny_stream () =
+  let g = Gen.path_graph [ 5 ] in
+  let s = ES.of_graph g in
+  let r = RA.run ~rng:(P.create 58) s in
+  check "takes the only edge" 5 (M.weight r.RA.matching)
+
+(* ------------------------------------------------------------------ *)
+(* Aug_class + Main_alg *)
+
+let test_one_augmentations () =
+  let g, m = fig1 () in
+  (* Only edges strictly heavier than both neighbourhoods qualify; in
+     fig1 no single edge beats w(cd) = 5 given its neighbours... check. *)
+  let augs = AC.one_augmentations g m in
+  (* ac (4) has gain 4-5 < 0; df gain < 0; none qualify. *)
+  check "no single-edge augs" 0 (List.length augs);
+  let m2 = M.create 6 in
+  let augs2 = AC.one_augmentations g m2 in
+  check "all edges qualify on empty matching" 5 (List.length augs2);
+  (* Sorted by gain descending. *)
+  match augs2 with
+  | first :: _ -> check "heaviest first" 5 (A.weight first)
+  | [] -> Alcotest.fail "unexpected"
+
+let test_walk_pairs_good () =
+  let rng = P.create 61 in
+  let g = Gen.gnp rng ~n:40 ~p:0.2 ~weights:(Gen.Uniform (1, 20)) in
+  let m = Wm_algos.Greedy.by_weight g in
+  let params = Params.practical ~epsilon:0.1 () in
+  let gp = Layered.parametrize rng g m in
+  let pairs = AC.walk_pairs params rng gp ~scale:16.0 ~count:200 in
+  let tp = Params.tau_params params in
+  List.iter (fun pr -> check_bool "good" true (Tau.is_good tp pr)) pairs
+
+let test_aug_class_run_disjoint_and_gainful () =
+  let rng = P.create 62 in
+  let g = Gen.gnp rng ~n:50 ~p:0.2 ~weights:(Gen.Uniform (1, 20)) in
+  let m = Wm_algos.Greedy.by_weight g in
+  let params = Params.practical ~epsilon:0.1 () in
+  List.iter
+    (fun scale ->
+      let augs, _ = AC.run params rng g m ~scale in
+      let used = Hashtbl.create 32 in
+      List.iter
+        (fun c ->
+          check_bool "gainful" true (A.gain c m > 0);
+          List.iter
+            (fun v ->
+              check_bool "disjoint" false (Hashtbl.mem used v);
+              Hashtbl.replace used v ())
+            (A.touched_vertices c m))
+        augs)
+    (MA.scales_for params g)
+
+let test_main_alg_fig1 () =
+  let g, m0 = fig1 () in
+  let params = Params.practical ~epsilon:0.1 () in
+  let best, _ = MA.solve ~init:m0 ~patience:20 params (P.create 1) g in
+  check "reaches optimum" 8 (M.weight best)
+
+let test_main_alg_fig2 () =
+  let g, m0 = Gen.paper_fig2 () in
+  let params = Params.practical ~epsilon:0.1 () in
+  let best, _ = MA.solve ~init:m0 ~patience:20 params (P.create 1) g in
+  check "reaches optimum" (Wm_exact.Brute.optimum_weight g) (M.weight best)
+
+let test_main_alg_four_cycle () =
+  (* Perfect matching improvable only via an augmenting cycle. *)
+  let g, m0 = Gen.paper_four_cycle () in
+  let params = Params.practical ~epsilon:0.1 () in
+  let best, _ = MA.solve ~init:m0 ~patience:40 params (P.create 1) g in
+  check "augmenting cycle found" 8 (M.weight best)
+
+let test_main_alg_cycle_family () =
+  let g, m0 = Gen.augmenting_cycle_family ~cycles:8 ~low:3 ~high:4 in
+  let params = Params.practical ~epsilon:0.1 () in
+  let best, _ = MA.solve ~init:m0 ~patience:40 params (P.create 1) g in
+  check "all cycles augmented" 64 (M.weight best)
+
+let test_main_alg_monotone () =
+  let rng = P.create 63 in
+  let g = Gen.gnp rng ~n:60 ~p:0.15 ~weights:(Gen.Uniform (1, 30)) in
+  let params = Params.practical ~epsilon:0.2 () in
+  let m = M.create (G.n g) in
+  let last = ref 0 in
+  for _ = 1 to 6 do
+    ignore (MA.improve_once params rng g m);
+    check_bool "monotone non-decreasing" true (M.weight m >= !last);
+    last := M.weight m
+  done
+
+let test_main_alg_beats_greedy_bipartite () =
+  let grng = P.create 64 in
+  let g =
+    Gen.random_bipartite grng ~left:50 ~right:50 ~p:0.15
+      ~weights:(Gen.Uniform (1, 20))
+  in
+  let params = Params.practical ~epsilon:0.1 () in
+  let best, _ = MA.solve ~patience:8 params (P.create 2) g in
+  check_bool "at least greedy" true
+    (M.weight best >= M.weight (Wm_algos.Greedy.by_weight g));
+  let opt = M.weight (Wm_exact.Hungarian.solve g ~left:(B.halves 50)) in
+  check_bool "at least 1 - eps of OPT" true
+    (float_of_int (M.weight best) >= 0.9 *. float_of_int opt)
+
+let test_main_alg_valid_matchings =
+  QCheck2.Test.make ~name:"main algorithm outputs valid matchings" ~count:20
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = P.create seed in
+      let n = 10 + P.int rng 30 in
+      let g = Gen.gnp rng ~n ~p:0.3 ~weights:(Gen.Uniform (1, 15)) in
+      let params = Params.practical ~epsilon:0.3 () in
+      let best, _ = MA.solve ~patience:3 params rng g in
+      M.is_valid_in best g)
+
+let test_main_alg_dominates_half =
+  QCheck2.Test.make ~name:"main algorithm is better than 1/2-approximate"
+    ~count:15
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = P.create seed in
+      let n = 8 + P.int rng 8 in
+      let g = Gen.gnp rng ~n ~p:0.4 ~weights:(Gen.Uniform (1, 15)) in
+      let opt = Wm_exact.Brute.optimum_weight g in
+      if opt = 0 then true
+      else begin
+        let params = Params.practical ~epsilon:0.2 () in
+        let best, _ = MA.solve ~patience:6 params rng g in
+        2 * M.weight best >= opt
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Certify (constructive Lemma 4.12) *)
+
+module Certify = Wm_core.Certify
+
+let tp32 = Tau.make_params ~granularity:(1.0 /. 32.0) ~max_layers:9 ~slack:0.001
+
+let test_certify_fig1_path () =
+  let g, m = fig1 () in
+  let aug = A.Path [ E.make 0 2 4; E.make 2 3 5; E.make 3 5 4 ] in
+  match Certify.witness tp32 ~class_ratio:2.0 g m aug with
+  | Some w ->
+      check "one repetition" 1 w.Certify.repetitions;
+      check_bool "verified" true (Certify.verify tp32 w g m aug)
+  | None -> Alcotest.fail "fig1 path must have a witness"
+
+let test_certify_four_cycle () =
+  let g, m = Gen.paper_four_cycle () in
+  let aug =
+    A.Cycle [ E.make 0 1 3; E.make 1 2 4; E.make 2 3 3; E.make 3 0 4 ]
+  in
+  match Certify.witness tp32 ~class_ratio:2.0 g m aug with
+  | Some w ->
+      check_bool "needs repetition" true (w.Certify.repetitions >= 2);
+      check_bool "verified" true (Certify.verify tp32 w g m aug)
+  | None -> Alcotest.fail "4-cycle must have a witness"
+
+let test_certify_resolution_limit () =
+  (* The 9/10 cycle needs ~5 repetitions and a fine granule: no witness
+     at the default knobs, a verified one at paper-scaled knobs — the
+     knob-scaling story of experiment F4 in miniature. *)
+  let g, m = Gen.augmenting_cycle_family ~cycles:1 ~low:9 ~high:10 in
+  let aug =
+    A.Cycle [ E.make 0 1 9; E.make 1 2 10; E.make 2 3 9; E.make 3 0 10 ]
+  in
+  check_bool "no witness at coarse knobs" true
+    (Certify.witness tp32 ~class_ratio:2.0 g m aug = None);
+  let tp_fine =
+    Tau.make_params ~granularity:(1.0 /. 128.0) ~max_layers:13 ~slack:0.001
+  in
+  match Certify.witness tp_fine ~class_ratio:2.0 g m aug with
+  | Some w ->
+      check "five repetitions" 5 w.Certify.repetitions;
+      check_bool "verified" true (Certify.verify tp_fine w g m aug)
+  | None -> Alcotest.fail "scaled knobs must capture the 9/10 cycle"
+
+let test_certify_rejects_bad_shapes () =
+  let g, m = fig1 () in
+  ignore g;
+  (* A path that starts with a matched edge has no o..o shape. *)
+  let bad = A.Path [ E.make 2 3 5; E.make 3 5 4 ] in
+  check_bool "no witness for e-o path" true
+    (Certify.witness tp32 ~class_ratio:2.0 g m bad = None)
+
+let prop_certify_planted_quintuples =
+  QCheck2.Test.make ~name:"Lemma 4.12 witness exists for planted quintuples"
+    ~count:40
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = P.create seed in
+      let g, m = Gen.planted_quintuples rng ~k:3 ~weights:(Gen.Uniform (8, 64)) in
+      (* Check the first quintuple's 3-augmentation. *)
+      let w0 = M.weight_at m 2 in
+      let aug = A.Path [ E.make 1 2 w0; E.make 2 3 w0; E.make 3 4 w0 ] in
+      match Certify.witness tp32 ~class_ratio:2.0 g m aug with
+      | Some w -> Certify.verify tp32 w g m aug
+      | None -> false)
+
+let prop_certify_uniform_cycles =
+  QCheck2.Test.make ~name:"Lemma 4.12 witness exists for (a, a+d) cycles"
+    ~count:40
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = P.create seed in
+      let low = 2 + P.int rng 3 in
+      let high = low + 1 + P.int rng 2 in
+      let g, m = Gen.augmenting_cycle_family ~cycles:2 ~low ~high in
+      let aug =
+        A.Cycle
+          [ E.make 0 1 low; E.make 1 2 high; E.make 2 3 low; E.make 3 0 high ]
+      in
+      ignore g;
+      (* Relative gain >= 1/6 here, so 9 layers at 1/32 granularity
+         should always capture it. *)
+      match Certify.witness tp32 ~class_ratio:2.0 g m aug with
+      | Some w -> Certify.verify tp32 w g m aug
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Model_driver *)
+
+let test_streaming_driver () =
+  let grng = P.create 71 in
+  let g =
+    Gen.random_bipartite grng ~left:40 ~right:40 ~p:0.15
+      ~weights:(Gen.Uniform (1, 20))
+  in
+  let params = Params.practical ~epsilon:0.2 () in
+  let s = ES.of_graph g in
+  let r = MD.streaming ~patience:4 params (P.create 72) s in
+  check_bool "valid" true (M.is_valid_in r.MD.matching g);
+  check_bool "passes charged" true (r.MD.passes > r.MD.rounds_run);
+  check_bool "memory tracked" true (r.MD.peak_edges > 0)
+
+let test_mpc_driver () =
+  let grng = P.create 73 in
+  let g =
+    Gen.random_bipartite grng ~left:40 ~right:40 ~p:0.15
+      ~weights:(Gen.Uniform (1, 20))
+  in
+  let params = Params.practical ~epsilon:0.2 () in
+  let cluster = Wm_mpc.Cluster.create ~machines:8 ~memory_words:(80 * 40) in
+  let r = MD.mpc ~patience:4 params (P.create 74) cluster g in
+  check_bool "valid" true (M.is_valid_in r.MD.matching g);
+  check_bool "rounds charged" true (r.MD.rounds > r.MD.rounds_run);
+  check "machines" 8 r.MD.machines
+
+let test_mpc_driver_memory_violation () =
+  let grng = P.create 75 in
+  let g = Gen.gnp grng ~n:60 ~p:0.4 ~weights:(Gen.Uniform (1, 20)) in
+  let params = Params.practical ~epsilon:0.2 () in
+  let cluster = Wm_mpc.Cluster.create ~machines:2 ~memory_words:10 in
+  let raised =
+    try
+      ignore (MD.mpc params (P.create 76) cluster g);
+      false
+    with Wm_mpc.Cluster.Memory_exceeded _ -> true
+  in
+  check_bool "tiny machines overflow" true raised
+
+(* Lemma 3.2 (KMM12): if a maximal matching M' satisfies
+   |M'| <= (1/2 + alpha)|M*| then at least (1/2 - 3 alpha)|M*| of its
+   edges are 3-augmentable.  Checked structurally via the symmetric
+   difference of M' and an optimal matching. *)
+let prop_lemma_3_2 =
+  QCheck2.Test.make ~name:"Lemma 3.2: 3-augmentable edge count" ~count:100
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = P.create seed in
+      let n = 6 + P.int rng 14 in
+      let g = Gen.gnp rng ~n ~p:(0.1 +. P.float rng 0.4) ~weights:Gen.Unit_weight in
+      let m' = Wm_algos.Greedy.maximal g in
+      let opt = Wm_exact.Blossom.solve g in
+      if M.size opt = 0 then true
+      else begin
+        let alpha =
+          (float_of_int (M.size m') /. float_of_int (M.size opt)) -. 0.5
+        in
+        (* Count 3-augmentable edges of m': components of m' U opt that
+           are paths with 1 m'-edge and 2 opt-edges. *)
+        let three_augmentable =
+          List.fold_left
+            (fun acc comp ->
+              let mine = List.length (List.filter (fun e -> M.mem m' e) comp) in
+              let theirs = List.length (List.filter (fun e -> M.mem opt e) comp) in
+              if mine = 1 && theirs = 2 then acc + 1 else acc)
+            0
+            (M.symmetric_difference m' opt)
+        in
+        float_of_int three_augmentable
+        >= ((0.5 -. (3.0 *. alpha)) *. float_of_int (M.size opt)) -. 1e-9
+      end)
+
+(* Layered-graph invariants: every retained edge obeys its threshold
+   window, the graph is bipartite under the L/R sides, and the initial
+   matching is exactly the intermediate-layer matched copies. *)
+let prop_layered_invariants =
+  QCheck2.Test.make ~name:"layered graphs satisfy Definition 4.10" ~count:60
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = P.create seed in
+      let n = 8 + P.int rng 20 in
+      let g = Gen.gnp rng ~n ~p:0.3 ~weights:(Gen.Uniform (1, 20)) in
+      let m = Wm_algos.Greedy.by_weight g in
+      let params = Params.practical ~epsilon:0.2 () in
+      let tp = Params.tau_params params in
+      let gp = Layered.parametrize rng g m in
+      let scale = 16.0 in
+      let granule = params.Params.granularity *. scale in
+      let pairs = AC.candidate_pairs params rng gp ~scale in
+      List.for_all
+        (fun pair ->
+          let lay = Layered.build tp gp pair ~scale in
+          let ok_bip =
+            G.is_bipartition lay.Layered.lgraph ~left:(Layered.left lay)
+          in
+          let ok_edges =
+            G.fold_edges
+              (fun ok e ->
+                ok
+                &&
+                let x, y = E.endpoints e in
+                let lx = Layered.layer_of ~base_n:n x
+                and ly = Layered.layer_of ~base_n:n y in
+                let w = E.weight e in
+                if lx = ly then
+                  (* matched copy in an intermediate layer: bucket-up
+                     must equal the layer threshold *)
+                  lx >= 2
+                  && lx <= lay.Layered.layer_count - 1
+                  && Tau.bucket_up ~granule w = pair.Tau.a.(lx - 1)
+                else begin
+                  let t = Stdlib.min lx ly in
+                  abs (lx - ly) = 1
+                  && Tau.bucket_down ~granule w = pair.Tau.b.(t - 1)
+                end)
+              true lay.Layered.lgraph
+          in
+          let ok_init =
+            M.fold
+              (fun ok e ->
+                ok
+                &&
+                let x, _ = E.endpoints e in
+                let t = Layered.layer_of ~base_n:n x in
+                t >= 2 && t <= lay.Layered.layer_count - 1)
+              true lay.Layered.init
+          in
+          ok_bip && ok_edges && ok_init)
+        pairs)
+
+(* Gains computed by the pipeline equal the actual weight delta. *)
+let prop_round_gain_is_exact =
+  QCheck2.Test.make ~name:"improve_once gain equals weight delta" ~count:30
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = P.create seed in
+      let n = 10 + P.int rng 30 in
+      let g = Gen.gnp rng ~n ~p:0.3 ~weights:(Gen.Uniform (1, 15)) in
+      let params = Params.practical ~epsilon:0.3 () in
+      let m = M.create (G.n g) in
+      let before = M.weight m in
+      let r = MA.improve_once params rng g m in
+      M.weight m = before + r.MA.gain && M.is_valid_in m g)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      test_main_alg_valid_matchings;
+      test_main_alg_dominates_half;
+      prop_lemma_3_2;
+      prop_layered_invariants;
+      prop_round_gain_is_exact;
+      prop_certify_planted_quintuples;
+      prop_certify_uniform_cycles;
+    ]
+
+let () =
+  Alcotest.run "wm_core"
+    [
+      ( "aug",
+        [
+          Alcotest.test_case "path gain" `Quick test_aug_path_gain;
+          Alcotest.test_case "bad path gain" `Quick test_aug_bad_path_gain;
+          Alcotest.test_case "off-path neighborhood" `Quick
+            test_aug_neighborhood_off_path;
+          Alcotest.test_case "apply path" `Quick test_aug_apply_path;
+          Alcotest.test_case "apply cycle" `Quick test_aug_apply_cycle;
+          Alcotest.test_case "apply = gain" `Quick test_aug_apply_is_gain;
+          Alcotest.test_case "cycle wraparound" `Quick
+            test_aug_cycle_wraparound_alternation;
+          Alcotest.test_case "malformed" `Quick test_aug_malformed;
+          Alcotest.test_case "conflicts" `Quick test_aug_conflicts;
+          Alcotest.test_case "touched vertices" `Quick test_aug_touched_vertices;
+        ] );
+      ( "weight_class",
+        [
+          Alcotest.test_case "doubling class" `Quick test_doubling_class;
+          Alcotest.test_case "doubling lower" `Quick test_doubling_lower;
+          Alcotest.test_case "geometric scales" `Quick test_geometric_scales;
+          Alcotest.test_case "scale floor" `Quick test_scale_floor;
+        ] );
+      ( "tau",
+        [
+          Alcotest.test_case "good pairs" `Quick test_tau_good_pair;
+          Alcotest.test_case "buckets" `Quick test_tau_buckets;
+          Alcotest.test_case "bucket inverse" `Quick test_tau_bucket_inverse;
+          Alcotest.test_case "enumerate" `Quick test_tau_enumerate_all_good;
+          Alcotest.test_case "enumerate cap" `Quick test_tau_enumerate_cap;
+          Alcotest.test_case "enumerate k1" `Quick test_tau_enumerate_k1;
+          Alcotest.test_case "homogeneous" `Quick test_tau_homogeneous;
+          Alcotest.test_case "sample" `Quick test_tau_sample;
+          Alcotest.test_case "capture path" `Quick test_tau_capture_path;
+          Alcotest.test_case "capture cycle" `Quick test_tau_capture_cycle;
+        ] );
+      ( "layered",
+        [
+          Alcotest.test_case "structure" `Quick test_layered_structure;
+          Alcotest.test_case "augmenting path" `Quick test_layered_aug_path_found;
+          Alcotest.test_case "project+decompose" `Quick
+            test_layered_project_and_decompose;
+          Alcotest.test_case "filters light edges" `Quick
+            test_layered_filtering_drops_light_edges;
+          Alcotest.test_case "orientation" `Quick test_layered_respects_orientation;
+        ] );
+      ( "decompose",
+        [
+          Alcotest.test_case "simple walk" `Quick test_decompose_simple_walk;
+          Alcotest.test_case "extracts cycle" `Quick test_decompose_extracts_cycle;
+          Alcotest.test_case "pure cycle" `Quick test_decompose_pure_cycle;
+          Alcotest.test_case "paper non-simple" `Quick
+            test_decompose_nonsimple_paper_example;
+          Alcotest.test_case "count mismatch" `Quick test_decompose_count_mismatch;
+        ] );
+      ( "params",
+        [
+          Alcotest.test_case "practical" `Quick test_params_practical;
+          Alcotest.test_case "paper formulas" `Quick test_params_paper_formulas;
+          Alcotest.test_case "bad epsilon" `Quick test_params_bad_epsilon;
+        ] );
+      ( "wgt_aug_paths",
+        [
+          Alcotest.test_case "finds planted" `Quick test_wap_finds_planted_weighted;
+          Alcotest.test_case "gainful only" `Quick test_wap_augmentations_are_gainful;
+          Alcotest.test_case "excess branch" `Quick test_wap_excess_path;
+          Alcotest.test_case "no feed" `Quick test_wap_no_feed_no_change;
+          Alcotest.test_case "filter thresholds" `Quick test_wap_filter_thresholds;
+        ] );
+      ( "random_arrival",
+        [
+          Alcotest.test_case "valid output" `Quick test_ra_valid_output;
+          Alcotest.test_case "beats half" `Quick test_ra_beats_half_on_average;
+          Alcotest.test_case "memory metered" `Quick test_ra_memory_is_metered;
+          Alcotest.test_case "tiny stream" `Quick test_ra_tiny_stream;
+        ] );
+      ( "aug_class",
+        [
+          Alcotest.test_case "one augmentations" `Quick test_one_augmentations;
+          Alcotest.test_case "walk pairs" `Quick test_walk_pairs_good;
+          Alcotest.test_case "disjoint gainful" `Quick
+            test_aug_class_run_disjoint_and_gainful;
+        ] );
+      ( "main_alg",
+        [
+          Alcotest.test_case "fig1" `Quick test_main_alg_fig1;
+          Alcotest.test_case "fig2" `Quick test_main_alg_fig2;
+          Alcotest.test_case "four cycle" `Slow test_main_alg_four_cycle;
+          Alcotest.test_case "cycle family" `Slow test_main_alg_cycle_family;
+          Alcotest.test_case "monotone" `Quick test_main_alg_monotone;
+          Alcotest.test_case "beats greedy" `Slow test_main_alg_beats_greedy_bipartite;
+        ] );
+      ( "certify",
+        [
+          Alcotest.test_case "fig1 path" `Quick test_certify_fig1_path;
+          Alcotest.test_case "four cycle" `Quick test_certify_four_cycle;
+          Alcotest.test_case "resolution limit" `Quick
+            test_certify_resolution_limit;
+          Alcotest.test_case "bad shapes" `Quick test_certify_rejects_bad_shapes;
+        ] );
+      ( "model_driver",
+        [
+          Alcotest.test_case "streaming" `Quick test_streaming_driver;
+          Alcotest.test_case "mpc" `Quick test_mpc_driver;
+          Alcotest.test_case "mpc memory violation" `Quick
+            test_mpc_driver_memory_violation;
+        ] );
+      ("properties", qcheck_tests);
+    ]

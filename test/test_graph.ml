@@ -1,0 +1,619 @@
+(* Tests for the wm_graph substrate: Prng, Edge, Weighted_graph,
+   Matching, Union_find, Bipartition, Gen. *)
+
+module E = Wm_graph.Edge
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+module P = Wm_graph.Prng
+module UF = Wm_graph.Union_find
+module B = Wm_graph.Bipartition
+module Gen = Wm_graph.Gen
+module Brute = Wm_exact.Brute
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = P.create 42 and b = P.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (P.bits64 a) (P.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = P.create 1 and b = P.create 2 in
+  check_bool "different streams" false (P.bits64 a = P.bits64 b)
+
+let test_prng_int_bounds () =
+  let rng = P.create 7 in
+  for _ = 1 to 1000 do
+    let v = P.int rng 10 in
+    check_bool "in range" true (v >= 0 && v < 10)
+  done
+
+let test_prng_int_in () =
+  let rng = P.create 9 in
+  for _ = 1 to 1000 do
+    let v = P.int_in rng 5 9 in
+    check_bool "in [5,9]" true (v >= 5 && v <= 9)
+  done
+
+let test_prng_permutation () =
+  let rng = P.create 3 in
+  let p = P.permutation rng 50 in
+  let sorted = Array.copy p in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_sample_without_replacement () =
+  let rng = P.create 4 in
+  let s = P.sample_without_replacement rng 10 100 in
+  check "count" 10 (Array.length s);
+  let tbl = Hashtbl.create 10 in
+  Array.iter
+    (fun x ->
+      check_bool "range" true (x >= 0 && x < 100);
+      check_bool "distinct" false (Hashtbl.mem tbl x);
+      Hashtbl.add tbl x ())
+    s
+
+let test_prng_split_independent () =
+  let a = P.create 11 in
+  let b = P.split a in
+  check_bool "split differs" false (P.bits64 a = P.bits64 b)
+
+let test_prng_uniformity_rough () =
+  let rng = P.create 13 in
+  let buckets = Array.make 10 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    let v = P.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check_bool "bucket within 10% of mean" true
+        (abs (c - (trials / 10)) < trials / 100))
+    buckets
+
+let test_prng_bernoulli () =
+  let rng = P.create 17 in
+  let hits = ref 0 in
+  for _ = 1 to 100_000 do
+    if P.bernoulli rng 0.3 then incr hits
+  done;
+  check_bool "p=0.3 plausible" true (abs (!hits - 30_000) < 1_500)
+
+(* ------------------------------------------------------------------ *)
+(* Edge *)
+
+let test_edge_normalisation () =
+  let e = E.make 5 2 7 in
+  Alcotest.(check (pair int int)) "u<v" (2, 5) (E.endpoints e);
+  check "weight" 7 (E.weight e)
+
+let test_edge_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Edge.make: self-loop")
+    (fun () -> ignore (E.make 3 3 1))
+
+let test_edge_negative_weight () =
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Edge.make: negative weight") (fun () ->
+      ignore (E.make 1 2 (-1)))
+
+let test_edge_other () =
+  let e = E.make 1 2 3 in
+  check "other 1" 2 (E.other e 1);
+  check "other 2" 1 (E.other e 2)
+
+let test_edge_intersects () =
+  let e = E.make 1 2 1 and f = E.make 2 3 1 and g = E.make 3 4 1 in
+  check_bool "share 2" true (E.intersects e f);
+  check_bool "disjoint" false (E.intersects e g)
+
+let test_edge_order_irrelevant_for_equality () =
+  check_bool "normalised equal" true (E.equal (E.make 4 1 9) (E.make 1 4 9))
+
+(* ------------------------------------------------------------------ *)
+(* Weighted_graph *)
+
+let small_graph () =
+  G.create ~n:5
+    [ E.make 0 1 3; E.make 1 2 4; E.make 2 3 5; E.make 3 4 6; E.make 0 4 7 ]
+
+let test_graph_basic () =
+  let g = small_graph () in
+  check "n" 5 (G.n g);
+  check "m" 5 (G.m g);
+  check "total weight" 25 (G.total_weight g);
+  check "max weight" 7 (G.max_weight g)
+
+let test_graph_neighbors () =
+  let g = small_graph () in
+  check "degree 0" 2 (G.degree g 0);
+  let ns = List.map fst (G.neighbors g 0) |> List.sort Int.compare in
+  Alcotest.(check (list int)) "neighbors of 0" [ 1; 4 ] ns
+
+let test_graph_find_edge () =
+  let g = small_graph () in
+  (match G.find_edge g 2 1 with
+  | Some e -> check "weight of 1-2" 4 (E.weight e)
+  | None -> Alcotest.fail "edge 1-2 should exist");
+  check_bool "no edge 0-2" true (G.find_edge g 0 2 = None)
+
+let test_graph_rejects_out_of_range () =
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Weighted_graph: edge 0-9:1 out of range [0,5)")
+    (fun () -> ignore (G.create ~n:5 [ E.make 0 9 1 ]))
+
+let test_graph_rejects_parallel () =
+  Alcotest.check_raises "parallel"
+    (Invalid_argument "Weighted_graph: parallel edge 0-1:2") (fun () ->
+      ignore (G.create ~n:3 [ E.make 0 1 1; E.make 1 0 2 ]))
+
+let test_graph_subgraph () =
+  let g = small_graph () in
+  let h = G.subgraph g (fun e -> E.weight e >= 5) in
+  check "filtered m" 3 (G.m h);
+  check "same n" 5 (G.n h)
+
+let test_graph_map_weights () =
+  let g = small_graph () in
+  let h = G.map_weights g (fun e -> 2 * E.weight e) in
+  check "doubled" 50 (G.total_weight h)
+
+let test_graph_is_bipartition () =
+  let g = G.create ~n:4 [ E.make 0 2 1; E.make 1 3 1 ] in
+  check_bool "even/odd split" true (G.is_bipartition g ~left:(fun v -> v < 2));
+  let g2 = G.create ~n:4 [ E.make 0 1 1 ] in
+  check_bool "violation" false (G.is_bipartition g2 ~left:(fun v -> v < 2))
+
+(* ------------------------------------------------------------------ *)
+(* Matching *)
+
+let test_matching_add_remove () =
+  let m = M.create 6 in
+  M.add m (E.make 0 1 5);
+  M.add m (E.make 2 3 7);
+  check "size" 2 (M.size m);
+  check "weight" 12 (M.weight m);
+  check "weight_at 1" 5 (M.weight_at m 1);
+  check "weight_at 4" 0 (M.weight_at m 4);
+  M.remove m (E.make 0 1 5);
+  check "size after remove" 1 (M.size m);
+  check "weight after remove" 7 (M.weight m)
+
+let test_matching_conflict () =
+  let m = M.create 4 in
+  M.add m (E.make 0 1 1);
+  check_bool "try_add conflict" false (M.try_add m (E.make 1 2 1));
+  check_bool "try_add free" true (M.try_add m (E.make 2 3 1))
+
+let test_matching_add_raises () =
+  let m = M.create 4 in
+  M.add m (E.make 0 1 1);
+  Alcotest.check_raises "conflict"
+    (Invalid_argument "Matching.add: conflicting edge 1-2:1") (fun () ->
+      M.add m (E.make 1 2 1))
+
+let test_matching_mate () =
+  let m = M.of_edges 4 [ E.make 0 2 3 ] in
+  Alcotest.(check (option int)) "mate 0" (Some 2) (M.mate m 0);
+  Alcotest.(check (option int)) "mate 2" (Some 0) (M.mate m 2);
+  Alcotest.(check (option int)) "mate 1" None (M.mate m 1)
+
+let test_matching_add_evicting () =
+  let m = M.of_edges 6 [ E.make 0 1 2; E.make 2 3 3 ] in
+  let evicted = M.add_evicting m (E.make 1 2 10) in
+  check "evicted count" 2 (List.length evicted);
+  check "new weight" 10 (M.weight m);
+  check "new size" 1 (M.size m)
+
+let test_matching_edges_listed_once () =
+  let m = M.of_edges 4 [ E.make 0 1 1; E.make 2 3 2 ] in
+  check "edges once" 2 (List.length (M.edges m))
+
+let test_matching_is_perfect () =
+  check_bool "perfect" true
+    (M.is_perfect (M.of_edges 4 [ E.make 0 1 1; E.make 2 3 1 ]));
+  check_bool "imperfect" false (M.is_perfect (M.of_edges 4 [ E.make 0 1 1 ]))
+
+let test_matching_validity () =
+  let g = small_graph () in
+  let good = M.of_edges 5 [ E.make 0 1 3 ] in
+  let bad_weight = M.of_edges 5 [ E.make 0 1 99 ] in
+  let bad_edge = M.of_edges 5 [ E.make 0 2 1 ] in
+  check_bool "valid" true (M.is_valid_in good g);
+  check_bool "wrong weight" false (M.is_valid_in bad_weight g);
+  check_bool "absent edge" false (M.is_valid_in bad_edge g)
+
+let test_matching_maximality () =
+  let g = small_graph () in
+  let maximal = M.of_edges 5 [ E.make 0 1 3; E.make 2 3 5 ] in
+  let not_maximal = M.of_edges 5 [ E.make 1 2 4 ] in
+  check_bool "maximal" true (M.is_maximal_in maximal g);
+  check_bool "not maximal" false (M.is_maximal_in not_maximal g)
+
+let test_symmetric_difference_path () =
+  (* M1 = {1-2}, M2 = {0-1, 2-3}: one alternating path of 3 edges. *)
+  let m1 = M.of_edges 4 [ E.make 1 2 5 ] in
+  let m2 = M.of_edges 4 [ E.make 0 1 4; E.make 2 3 4 ] in
+  match M.symmetric_difference m1 m2 with
+  | [ comp ] -> check "path length" 3 (List.length comp)
+  | comps -> Alcotest.failf "expected 1 component, got %d" (List.length comps)
+
+let test_symmetric_difference_cycle () =
+  let m1 = M.of_edges 4 [ E.make 0 1 3; E.make 2 3 3 ] in
+  let m2 = M.of_edges 4 [ E.make 1 2 4; E.make 0 3 4 ] in
+  match M.symmetric_difference m1 m2 with
+  | [ comp ] -> check "cycle length" 4 (List.length comp)
+  | comps -> Alcotest.failf "expected 1 component, got %d" (List.length comps)
+
+let test_symmetric_difference_common_edge () =
+  let m1 = M.of_edges 4 [ E.make 0 1 3 ] in
+  let m2 = M.of_edges 4 [ E.make 0 1 3 ] in
+  match M.symmetric_difference m1 m2 with
+  | [ comp ] -> check "2-cycle" 2 (List.length comp)
+  | comps -> Alcotest.failf "expected 1 component, got %d" (List.length comps)
+
+(* ------------------------------------------------------------------ *)
+(* Union_find *)
+
+let test_union_find_basic () =
+  let uf = UF.create 5 in
+  check "initial count" 5 (UF.count uf);
+  check_bool "union 0 1" true (UF.union uf 0 1);
+  check_bool "union again" false (UF.union uf 0 1);
+  check_bool "same" true (UF.same uf 0 1);
+  check_bool "not same" false (UF.same uf 0 2);
+  check "count" 4 (UF.count uf);
+  check "size" 2 (UF.size_of uf 1)
+
+let test_union_find_chain () =
+  let uf = UF.create 100 in
+  for i = 0 to 98 do
+    ignore (UF.union uf i (i + 1))
+  done;
+  check "one component" 1 (UF.count uf);
+  check "full size" 100 (UF.size_of uf 50)
+
+(* ------------------------------------------------------------------ *)
+(* Bipartition *)
+
+let test_two_color_bipartite () =
+  let g = G.create ~n:4 [ E.make 0 1 1; E.make 1 2 1; E.make 2 3 1 ] in
+  match B.two_color g with
+  | Some side ->
+      check_bool "proper" true (G.is_bipartition g ~left:(fun v -> side.(v)))
+  | None -> Alcotest.fail "path is bipartite"
+
+let test_two_color_odd_cycle () =
+  let g = Gen.cycle_graph [ 1; 1; 1 ] in
+  check_bool "triangle not bipartite" true (B.two_color g = None)
+
+let test_random_bipartition_shape () =
+  let rng = P.create 5 in
+  let side = B.random rng 1000 in
+  let lefts = Array.fold_left (fun a b -> if b then a + 1 else a) 0 side in
+  check_bool "roughly balanced" true (abs (lefts - 500) < 100)
+
+(* ------------------------------------------------------------------ *)
+(* Gen *)
+
+let test_gnp_edge_count () =
+  let rng = P.create 21 in
+  let g = Gen.gnp rng ~n:100 ~p:0.5 ~weights:Gen.Unit_weight in
+  let expected = 100 * 99 / 4 in
+  check_bool "about half the pairs" true (abs (G.m g - expected) < 300)
+
+let test_gnm_exact_count () =
+  let rng = P.create 22 in
+  let g = Gen.gnm rng ~n:50 ~m:200 ~weights:(Gen.Uniform (1, 9)) in
+  check "exact m" 200 (G.m g);
+  G.iter_edges
+    (fun e ->
+      check_bool "weight range" true (E.weight e >= 1 && E.weight e <= 9))
+    g
+
+let test_gnm_full () =
+  let rng = P.create 23 in
+  let g = Gen.gnm rng ~n:10 ~m:45 ~weights:Gen.Unit_weight in
+  check "complete" 45 (G.m g)
+
+let test_random_bipartite_is_bipartite () =
+  let rng = P.create 24 in
+  let g =
+    Gen.random_bipartite rng ~left:20 ~right:30 ~p:0.3 ~weights:Gen.Unit_weight
+  in
+  check "n" 50 (G.n g);
+  check_bool "bipartition holds" true (G.is_bipartition g ~left:(B.halves 20))
+
+let test_grid () =
+  let rng = P.create 25 in
+  let g = Gen.grid rng ~rows:3 ~cols:4 ~weights:Gen.Unit_weight in
+  check "n" 12 (G.n g);
+  check "m" ((2 * 4) + (3 * 3)) (G.m g)
+
+let test_path_and_cycle () =
+  let p = Gen.path_graph [ 1; 2; 3 ] in
+  check "path n" 4 (G.n p);
+  check "path m" 3 (G.m p);
+  let c = Gen.cycle_graph [ 1; 2; 3; 4 ] in
+  check "cycle n" 4 (G.n c);
+  check "cycle m" 4 (G.m c)
+
+let test_geometric_weights_are_powers () =
+  let rng = P.create 26 in
+  for _ = 1 to 200 do
+    let w = Gen.draw_weight rng ~n:10 (Gen.Geometric_classes 5) in
+    check_bool "power of two <= 16" true (List.mem w [ 1; 2; 4; 8; 16 ])
+  done
+
+let test_augmenting_cycle_family () =
+  let g, m = Gen.augmenting_cycle_family ~cycles:3 ~low:3 ~high:4 in
+  check "n" 12 (G.n g);
+  check "m" 12 (G.m g);
+  check_bool "matching valid" true (M.is_valid_in m g);
+  check_bool "perfect" true (M.is_perfect m);
+  check "matching weight" 18 (M.weight m)
+
+let test_long_augmenting_paths () =
+  let rng = P.create 27 in
+  let g, m = Gen.long_augmenting_paths rng ~paths:2 ~half_length:3 in
+  check_bool "matching valid" true (M.is_valid_in m g);
+  check "matched edges" 6 (M.size m);
+  check "edges" 14 (G.m g)
+
+let test_planted_three_augmentations () =
+  let rng = P.create 28 in
+  let g, m =
+    Gen.planted_three_augmentations rng ~k:5 ~spare:2 ~weights:Gen.Unit_weight
+  in
+  check_bool "matching valid" true (M.is_valid_in m g);
+  check "matched" 7 (M.size m);
+  check "n" 24 (G.n g)
+
+let test_power_law_bipartite () =
+  let rng = P.create 29 in
+  let g =
+    Gen.power_law_bipartite rng ~left:100 ~right:100 ~edges:400 ~exponent:1.5
+      ~weights:(Gen.Uniform (1, 9))
+  in
+  check "n" 200 (G.n g);
+  check_bool "edge count near target" true (G.m g >= 350 && G.m g <= 400);
+  check_bool "bipartite" true (G.is_bipartition g ~left:(B.halves 100));
+  (* Skew: the most popular right vertex should far exceed the median. *)
+  let degs =
+    List.init 100 (fun i -> G.degree g (100 + i)) |> List.sort Int.compare
+  in
+  let max_deg = List.nth degs 99 and med = List.nth degs 50 in
+  check_bool "skewed degrees" true (max_deg >= 4 * Stdlib.max 1 med)
+
+let test_paper_fig1 () =
+  let g, m = Gen.paper_fig1 () in
+  check_bool "valid" true (M.is_valid_in m g);
+  check "initial weight" 5 (M.weight m);
+  (* Optimum is {a,c} + {d,f} of weight 8. *)
+  check "optimum" 8 (Brute.optimum_weight g)
+
+let test_paper_fig2 () =
+  let g, m = Gen.paper_fig2 () in
+  check_bool "valid" true (M.is_valid_in m g);
+  check "initial weight" 6 (M.weight m)
+
+let test_paper_four_cycle () =
+  let g, m = Gen.paper_four_cycle () in
+  check_bool "valid" true (M.is_valid_in m g);
+  check_bool "perfect but suboptimal" true (M.is_perfect m);
+  check "initial weight" 6 (M.weight m);
+  check "optimum" 8 (Brute.optimum_weight g)
+
+let test_paper_nonsimple () =
+  let g, m = Gen.paper_nonsimple_path () in
+  check_bool "valid" true (M.is_valid_in m g);
+  check "initial weight" 3 (M.weight m);
+  check "optimum" 4 (Brute.optimum_weight g)
+
+(* ------------------------------------------------------------------ *)
+(* Graph_io *)
+
+module IO = Wm_graph.Graph_io
+
+let test_io_roundtrip () =
+  let g = small_graph () in
+  let g' = IO.of_string (IO.to_string g) in
+  check "n" (G.n g) (G.n g');
+  check "m" (G.m g) (G.m g');
+  check "weight" (G.total_weight g) (G.total_weight g')
+
+let test_io_comments_and_blanks () =
+  let s = "c a comment\n\np wm 3 1\nc another\ne 0 2 7\n" in
+  let g = IO.of_string s in
+  check "n" 3 (G.n g);
+  check "m" 1 (G.m g);
+  check "weight" 7 (G.total_weight g)
+
+let test_io_errors () =
+  let expect_failure s =
+    match IO.of_string s with
+    | _ -> Alcotest.fail "expected failure"
+    | exception Failure _ -> ()
+  in
+  expect_failure "e 0 1 2\n";
+  expect_failure "p wm 3 2\ne 0 1 2\n";
+  expect_failure "p wm x y\n";
+  expect_failure "p wm 3 1\ne 0 0 2\n";
+  expect_failure "p matching 3 0\n"
+
+let test_io_matching_roundtrip () =
+  let m = M.of_edges 5 [ E.make 0 1 4; E.make 2 3 6 ] in
+  let m' = IO.matching_of_string (IO.matching_to_string m) in
+  check_bool "equal" true (M.equal m m')
+
+let test_io_file_roundtrip () =
+  let rng = P.create 77 in
+  let g = Gen.gnp rng ~n:30 ~p:0.3 ~weights:(Gen.Uniform (1, 50)) in
+  let path = Filename.temp_file "wm_io" ".wm" in
+  IO.write_file path g;
+  let g' = IO.read_file path in
+  Sys.remove path;
+  check "weight" (G.total_weight g) (G.total_weight g');
+  check "m" (G.m g) (G.m g')
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests *)
+
+let gen_small_graph =
+  QCheck2.Gen.(
+    let* n = int_range 2 12 in
+    let* density = float_range 0.1 0.9 in
+    let* seed = int_range 0 1_000_000 in
+    return
+      (let rng = P.create seed in
+       Gen.gnp rng ~n ~p:density ~weights:(Gen.Uniform (1, 20))))
+
+let prop_matching_weight_consistent =
+  QCheck2.Test.make ~name:"greedy matching weight equals sum of edges"
+    ~count:200 gen_small_graph (fun g ->
+      let m = M.create (G.n g) in
+      G.iter_edges (fun e -> ignore (M.try_add m e)) g;
+      M.weight m = List.fold_left (fun a e -> a + E.weight e) 0 (M.edges m)
+      && M.size m = List.length (M.edges m))
+
+let prop_symmetric_difference_covers =
+  QCheck2.Test.make
+    ~name:"symmetric difference components partition both matchings"
+    ~count:200 gen_small_graph (fun g ->
+      let greedy order =
+        let edges = Array.copy (G.edges g) in
+        Array.sort order edges;
+        let m = M.create (G.n g) in
+        Array.iter (fun e -> ignore (M.try_add m e)) edges;
+        m
+      in
+      let m1 = greedy (fun a b -> Int.compare (E.weight b) (E.weight a)) in
+      let m2 = greedy E.compare in
+      let comps = M.symmetric_difference m1 m2 in
+      let total = List.fold_left (fun a c -> a + List.length c) 0 comps in
+      (* Every matched edge appears exactly once across components. *)
+      total = M.size m1 + M.size m2)
+
+let prop_io_roundtrip =
+  QCheck2.Test.make ~name:"graph io round-trips exactly" ~count:100
+    gen_small_graph (fun g ->
+      let g' = IO.of_string (IO.to_string g) in
+      G.n g = G.n g' && G.m g = G.m g'
+      && Array.for_all2 E.equal (G.edges g) (G.edges g'))
+
+let prop_two_color_sound =
+  QCheck2.Test.make ~name:"two_color produces a proper bipartition" ~count:200
+    gen_small_graph (fun g ->
+      match B.two_color g with
+      | Some side -> G.is_bipartition g ~left:(fun v -> side.(v))
+      | None -> true)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_matching_weight_consistent;
+      prop_symmetric_difference_covers;
+      prop_two_color_sound;
+      prop_io_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "wm_graph"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_prng_int_in;
+          Alcotest.test_case "permutation" `Quick test_prng_permutation;
+          Alcotest.test_case "sampling" `Quick test_prng_sample_without_replacement;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "uniformity" `Slow test_prng_uniformity_rough;
+          Alcotest.test_case "bernoulli" `Slow test_prng_bernoulli;
+        ] );
+      ( "edge",
+        [
+          Alcotest.test_case "normalisation" `Quick test_edge_normalisation;
+          Alcotest.test_case "self loop" `Quick test_edge_self_loop;
+          Alcotest.test_case "negative weight" `Quick test_edge_negative_weight;
+          Alcotest.test_case "other endpoint" `Quick test_edge_other;
+          Alcotest.test_case "intersects" `Quick test_edge_intersects;
+          Alcotest.test_case "equality" `Quick
+            test_edge_order_irrelevant_for_equality;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "basic" `Quick test_graph_basic;
+          Alcotest.test_case "neighbors" `Quick test_graph_neighbors;
+          Alcotest.test_case "find_edge" `Quick test_graph_find_edge;
+          Alcotest.test_case "out of range" `Quick test_graph_rejects_out_of_range;
+          Alcotest.test_case "parallel edges" `Quick test_graph_rejects_parallel;
+          Alcotest.test_case "subgraph" `Quick test_graph_subgraph;
+          Alcotest.test_case "map_weights" `Quick test_graph_map_weights;
+          Alcotest.test_case "is_bipartition" `Quick test_graph_is_bipartition;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "add/remove" `Quick test_matching_add_remove;
+          Alcotest.test_case "conflicts" `Quick test_matching_conflict;
+          Alcotest.test_case "add raises" `Quick test_matching_add_raises;
+          Alcotest.test_case "mate" `Quick test_matching_mate;
+          Alcotest.test_case "add_evicting" `Quick test_matching_add_evicting;
+          Alcotest.test_case "edges once" `Quick test_matching_edges_listed_once;
+          Alcotest.test_case "is_perfect" `Quick test_matching_is_perfect;
+          Alcotest.test_case "validity" `Quick test_matching_validity;
+          Alcotest.test_case "maximality" `Quick test_matching_maximality;
+          Alcotest.test_case "symdiff path" `Quick test_symmetric_difference_path;
+          Alcotest.test_case "symdiff cycle" `Quick test_symmetric_difference_cycle;
+          Alcotest.test_case "symdiff common edge" `Quick
+            test_symmetric_difference_common_edge;
+        ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "basic" `Quick test_union_find_basic;
+          Alcotest.test_case "chain" `Quick test_union_find_chain;
+        ] );
+      ( "bipartition",
+        [
+          Alcotest.test_case "two_color bipartite" `Quick test_two_color_bipartite;
+          Alcotest.test_case "two_color odd cycle" `Quick test_two_color_odd_cycle;
+          Alcotest.test_case "random split" `Quick test_random_bipartition_shape;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "gnp count" `Quick test_gnp_edge_count;
+          Alcotest.test_case "gnm exact count" `Quick test_gnm_exact_count;
+          Alcotest.test_case "gnm complete" `Quick test_gnm_full;
+          Alcotest.test_case "bipartite family" `Quick
+            test_random_bipartite_is_bipartite;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "path and cycle" `Quick test_path_and_cycle;
+          Alcotest.test_case "geometric weights" `Quick
+            test_geometric_weights_are_powers;
+          Alcotest.test_case "power law" `Quick test_power_law_bipartite;
+          Alcotest.test_case "augmenting cycles" `Quick test_augmenting_cycle_family;
+          Alcotest.test_case "long paths" `Quick test_long_augmenting_paths;
+          Alcotest.test_case "planted 3-augs" `Quick
+            test_planted_three_augmentations;
+          Alcotest.test_case "paper fig1" `Quick test_paper_fig1;
+          Alcotest.test_case "paper fig2" `Quick test_paper_fig2;
+          Alcotest.test_case "paper 4-cycle" `Quick test_paper_four_cycle;
+          Alcotest.test_case "paper non-simple" `Quick test_paper_nonsimple;
+        ] );
+      ( "graph_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "comments" `Quick test_io_comments_and_blanks;
+          Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "matching roundtrip" `Quick test_io_matching_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,57 @@
+(* Tests for the experiment harness metadata and report helpers. *)
+
+module Ex = Wm_harness.Experiments
+module R = Wm_harness.Report
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_ids_unique () =
+  let ids = List.map (fun e -> e.Ex.id) Ex.all in
+  check "no duplicate ids" (List.length ids)
+    (List.length (List.sort_uniq String.compare ids))
+
+let test_find_case_insensitive () =
+  check_bool "t1 lowercase" true (Ex.find "t1" <> None);
+  check_bool "F4 exact" true (Ex.find "F4" <> None);
+  check_bool "unknown" true (Ex.find "Z9" = None)
+
+let test_expected_ids_present () =
+  List.iter
+    (fun id -> check_bool id true (Ex.find id <> None))
+    [ "T1"; "T2"; "T3"; "T4"; "T5"; "T6"; "F1"; "F2"; "F3"; "F4"; "F5"; "F6";
+      "A1"; "A2" ]
+
+let test_claims_nonempty () =
+  List.iter
+    (fun e ->
+      check_bool (e.Ex.id ^ " claim") true (String.length e.Ex.claim > 0);
+      check_bool (e.Ex.id ^ " title") true (String.length e.Ex.title > 0))
+    Ex.all
+
+let test_mean_and_stddev () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (R.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev" 1.0 (R.stddev [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (R.mean []);
+  Alcotest.(check (float 1e-9)) "stddev singleton" 0.0 (R.stddev [ 5.0 ])
+
+let test_cells () =
+  Alcotest.(check string) "float cell" "0.1235" (R.cell_f 0.12349);
+  Alcotest.(check string) "int cell" "42" (R.cell_i 42)
+
+let () =
+  Alcotest.run "wm_harness"
+    [
+      ( "experiments",
+        [
+          Alcotest.test_case "unique ids" `Quick test_ids_unique;
+          Alcotest.test_case "find" `Quick test_find_case_insensitive;
+          Alcotest.test_case "all ids" `Quick test_expected_ids_present;
+          Alcotest.test_case "metadata" `Quick test_claims_nonempty;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "statistics" `Quick test_mean_and_stddev;
+          Alcotest.test_case "cells" `Quick test_cells;
+        ] );
+    ]
