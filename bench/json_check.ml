@@ -1,0 +1,48 @@
+(* Smoke validator for BENCH_v1 reports: parses the file with the
+   in-house JSON reader and checks the invariants the schema promises.
+   Exits nonzero with a diagnostic on any violation, which is what makes
+   the @bench-smoke dune alias fail on a malformed report. *)
+
+module J = Wm_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ -> fail "usage: json_check.exe REPORT.json"
+  in
+  let text = try read_file path with Sys_error e -> fail "%s" e in
+  let json =
+    match J.of_string text with
+    | Ok j -> j
+    | Error e -> fail "%s: invalid JSON: %s" path e
+  in
+  (match J.member "schema" json with
+  | Some (J.Str "BENCH_v1") -> ()
+  | Some j -> fail "%s: unexpected schema %s" path (J.to_string j)
+  | None -> fail "%s: missing \"schema\" field" path);
+  (match J.member "experiments" json with
+  | Some (J.List []) -> fail "%s: empty experiments list" path
+  | Some (J.List sections) ->
+      List.iteri
+        (fun i s ->
+          match (J.member "id" s, J.member "tables" s) with
+          | Some (J.Str _), Some (J.List _) -> ()
+          | _ -> fail "%s: experiments[%d] lacks id/tables" path i)
+        sections
+  | _ -> fail "%s: missing \"experiments\" list" path);
+  (match J.member "obs" json with
+  | Some obs -> (
+      match J.member "counters" obs with
+      | Some (J.Obj _) -> ()
+      | _ -> fail "%s: obs snapshot lacks \"counters\"" path)
+  | None -> fail "%s: missing \"obs\" snapshot" path);
+  Printf.printf "%s: BENCH_v1 report ok\n" path

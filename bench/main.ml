@@ -1,15 +1,19 @@
 (* Benchmark harness: regenerates every table and figure of DESIGN.md §4
    (the empirical analogues of the paper's theorems), then runs bechamel
-   micro-benchmarks of the hot kernels.
+   micro-benchmarks of the hot kernels.  With [--json PATH] the run is
+   additionally serialized as a BENCH_v1 report (schema in DESIGN.md §4).
 
-   Usage:  dune exec bench/main.exe [-- --full] [-- --only T1,F4]
-           [-- --seed N] [-- --no-micro]                               *)
+   Usage:  dune exec bench/main.exe -- [--full] [--only T1,F4]
+           [--seed N] [--no-micro] [--json PATH]                       *)
 
 module P = Wm_graph.Prng
 module G = Wm_graph.Weighted_graph
 module M = Wm_graph.Matching
 module Gen = Wm_graph.Gen
 module B = Wm_graph.Bipartition
+module J = Wm_obs.Json
+module Obs = Wm_obs.Obs
+module Report = Wm_harness.Report
 
 let micro_benchmarks () =
   let open Bechamel in
@@ -95,35 +99,102 @@ let micro_benchmarks () =
     in
     Analyze.all ols Toolkit.Instance.monotonic_clock results
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = analyze (benchmark test) in
       Hashtbl.iter
         (fun name ols ->
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "%-36s %12.0f ns/run\n%!" name est
+          | Some [ est ] ->
+              Printf.printf "%-36s %12.0f ns/run\n%!" name est;
+              estimates := (name, est) :: !estimates
           | Some _ | None -> Printf.printf "%-36s (no estimate)\n%!" name)
         results)
-    tests
+    tests;
+  List.rev !estimates
+
+(* Table cells are formatted strings; recover numbers where possible so
+   the JSON report carries typed values. *)
+let cell_to_json s =
+  match int_of_string_opt s with
+  | Some i -> J.Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> J.Float f
+      | None -> J.Str s)
+
+let table_to_json (t : Report.table) =
+  J.Obj
+    [
+      ("columns", J.List (List.map (fun c -> J.Str c) t.Report.columns));
+      ( "rows",
+        J.List
+          (List.map (fun r -> J.List (List.map cell_to_json r)) t.Report.rows)
+      );
+    ]
+
+let section_to_json (s : Report.captured_section) =
+  J.Obj
+    [
+      ("id", J.Str s.Report.id);
+      ("title", J.Str s.Report.title);
+      ("claim", J.Str s.Report.claim);
+      ("tables", J.List (List.map table_to_json s.Report.tables));
+      ("notes", J.List (List.map (fun n -> J.Str n) s.Report.notes));
+    ]
+
+let write_report ~path ~quick ~seed ~sections ~micro =
+  let json =
+    J.Obj
+      [
+        ("schema", J.Str "BENCH_v1");
+        ("mode", J.Str (if quick then "quick" else "full"));
+        ("seed", J.Int seed);
+        ("experiments", J.List (List.map section_to_json sections));
+        ( "micro",
+          J.List
+            (List.map
+               (fun (name, ns) ->
+                 J.Obj [ ("name", J.Str name); ("ns_per_run", J.Float ns) ])
+               micro) );
+        ("obs", Obs.to_json Obs.default);
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      J.to_channel oc json;
+      output_char oc '\n');
+  Printf.printf "\nwrote %s\n%!" path
 
 let () =
   let full = ref false in
   let only = ref "" in
   let seed = ref 42 in
   let micro = ref true in
+  let json_path = ref "" in
   let args =
     [
       ("--full", Arg.Set full, "full-size experiments (slower)");
       ("--only", Arg.Set_string only, "comma-separated experiment ids");
       ("--seed", Arg.Set_int seed, "base random seed (default 42)");
       ("--no-micro", Arg.Clear micro, "skip bechamel micro-benchmarks");
+      ("--json", Arg.Set_string json_path, "write a BENCH_v1 JSON report to PATH");
     ]
   in
-  Arg.parse args (fun _ -> ()) "bench/main.exe [--full] [--only IDS] [--seed N]";
+  let usage =
+    "bench/main.exe [--full] [--only IDS] [--seed N] [--no-micro] [--json PATH]"
+  in
+  Arg.parse args
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    usage;
   let quick = not !full in
   Printf.printf
     "Weighted Matchings via Unweighted Augmentations — experiment harness\n";
   Printf.printf "mode: %s, seed: %d\n%!" (if quick then "quick" else "full") !seed;
+  if !json_path <> "" then Report.start_capture ();
   (if !only = "" then Wm_harness.Experiments.run_all ~quick ~seed:!seed
    else
      String.split_on_char ',' !only
@@ -131,4 +202,7 @@ let () =
             match Wm_harness.Experiments.find (String.trim id) with
             | Some e -> e.Wm_harness.Experiments.run ~quick ~seed:!seed
             | None -> Printf.printf "unknown experiment id: %s\n" id));
-  if !micro then micro_benchmarks ()
+  let micro_estimates = if !micro then micro_benchmarks () else [] in
+  if !json_path <> "" then
+    write_report ~path:!json_path ~quick ~seed:!seed
+      ~sections:(Report.capture ()) ~micro:micro_estimates

@@ -1,6 +1,7 @@
 (* Command-line interface for the weighted-matching library.
 
      wm_cli solve --family bip --n 200 --algo main --epsilon 0.1
+     wm_cli stats --algo random-arrival --n 300
      wm_cli experiment T1 F4 --full
      wm_cli list                                                     *)
 
@@ -79,17 +80,31 @@ let optimum g =
   | Some o -> Some (M.weight o)
   | None -> None
 
-let run_solve family n density weights seed algo epsilon input =
+let algo_name = function
+  | Greedy_algo -> "greedy"
+  | Local_ratio_algo -> "local-ratio"
+  | Random_arrival_algo -> "random-arrival"
+  | Unweighted_ra_algo -> "unweighted-ra"
+  | Main_algo -> "main"
+  | Streaming_algo -> "streaming"
+  | Mpc_algo -> "mpc"
+  | Exact_algo -> "exact"
+
+(* Build/load the instance, run one algorithm.  [verbose] guards the
+   incidental text output so the [stats] subcommand can emit clean JSON
+   on stdout. *)
+let execute ~verbose ~family ~n ~density ~weights ~seed ~algo ~epsilon ~input =
   let g, init =
     match input with
     | Some path -> (Wm_graph.Graph_io.read_file path, None)
     | None -> build_instance ~family ~n ~density ~weights ~seed
   in
-  Printf.printf "instance: n=%d m=%d total-weight=%d%s\n" (G.n g) (G.m g)
-    (G.total_weight g)
-    (match init with
-    | Some m -> Printf.sprintf " initial-matching=%d" (M.weight m)
-    | None -> "");
+  if verbose then
+    Printf.printf "instance: n=%d m=%d total-weight=%d%s\n" (G.n g) (G.m g)
+      (G.total_weight g)
+      (match init with
+      | Some m -> Printf.sprintf " initial-matching=%d" (M.weight m)
+      | None -> "");
   let rng = P.create (seed + 1) in
   let stream () = ES.of_graph ~order:(ES.Random (P.create (seed + 2))) g in
   let result =
@@ -105,9 +120,10 @@ let run_solve family n density weights seed algo epsilon input =
         let params = Wm_core.Params.practical ~epsilon () in
         let s = stream () in
         let r = Wm_core.Model_driver.streaming params rng s in
-        Printf.printf "passes=%d peak-edges=%d rounds=%d\n"
-          r.Wm_core.Model_driver.passes r.Wm_core.Model_driver.peak_edges
-          r.Wm_core.Model_driver.rounds_run;
+        if verbose then
+          Printf.printf "passes=%d peak-edges=%d rounds=%d\n"
+            r.Wm_core.Model_driver.passes r.Wm_core.Model_driver.peak_edges
+            r.Wm_core.Model_driver.rounds_run;
         r.Wm_core.Model_driver.matching
     | Mpc_algo ->
         let params = Wm_core.Params.practical ~epsilon () in
@@ -115,16 +131,60 @@ let run_solve family n density weights seed algo epsilon input =
         let memory_words = 16 * G.n g * 10 in
         let cluster = Wm_mpc.Cluster.create ~machines ~memory_words in
         let r = Wm_core.Model_driver.mpc params rng cluster g in
-        Printf.printf "rounds=%d peak-machine-memory=%d machines=%d\n"
-          r.Wm_core.Model_driver.rounds
-          r.Wm_core.Model_driver.peak_machine_memory machines;
+        if verbose then
+          Printf.printf "rounds=%d peak-machine-memory=%d machines=%d\n"
+            r.Wm_core.Model_driver.rounds
+            r.Wm_core.Model_driver.peak_machine_memory machines;
         r.Wm_core.Model_driver.matching
     | Exact_algo -> (
         match Wm_exact.Mwm_general.solve_opt g with
         | Some m -> m
         | None ->
-            Printf.printf "no exact solver applies; greedy+swaps lower bound\n";
+            if verbose then
+              Printf.printf "no exact solver applies; greedy+swaps lower bound\n";
             Wm_exact.Mwm_general.lower_bound g)
+  in
+  (g, result)
+
+(* WM_STATS_v1: the per-run JSON report shared by `solve --json` and
+   `stats`.  Counter names are documented in DESIGN.md §4. *)
+let run_json ~g ~algo ~result =
+  let open Wm_obs.Json in
+  let opt_fields =
+    match optimum g with
+    | Some opt when opt > 0 ->
+        [
+          ("optimum", Int opt);
+          ("ratio", Float (float_of_int (M.weight result) /. float_of_int opt));
+        ]
+    | Some _ | None -> []
+  in
+  Obj
+    ([
+       ("schema", Str "WM_STATS_v1");
+       ( "instance",
+         Obj
+           [
+             ("n", Int (G.n g));
+             ("m", Int (G.m g));
+             ("total_weight", Int (G.total_weight g));
+           ] );
+       ("algo", Str (algo_name algo));
+       ( "matching",
+         Obj
+           [
+             ("size", Int (M.size result));
+             ("weight", Int (M.weight result));
+             ("valid", Bool (M.is_valid_in result g));
+           ] );
+     ]
+    @ opt_fields
+    @ [ ("obs", Wm_obs.Obs.to_json Wm_obs.Obs.default) ])
+
+let run_solve family n density weights seed algo epsilon input json =
+  let g, result =
+    execute ~verbose:true ~family ~n ~density ~weights ~seed ~algo ~epsilon
+      ~input
   in
   Printf.printf "matching: size=%d weight=%d valid=%b\n" (M.size result)
     (M.weight result)
@@ -134,6 +194,24 @@ let run_solve family n density weights seed algo epsilon input =
       Printf.printf "optimum: %d  ratio: %.4f\n" opt
         (float_of_int (M.weight result) /. float_of_int opt)
   | Some _ | None -> ());
+  (match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Wm_obs.Json.to_channel oc (run_json ~g ~algo ~result);
+          output_char oc '\n');
+      Printf.printf "wrote %s\n" path);
+  0
+
+let run_stats family n density weights seed algo epsilon input =
+  let g, result =
+    execute ~verbose:false ~family ~n ~density ~weights ~seed ~algo ~epsilon
+      ~input
+  in
+  print_endline (Wm_obs.Json.to_string_pretty (run_json ~g ~algo ~result));
   0
 
 (* ------------------------------------------------------------------ *)
@@ -167,33 +245,50 @@ open Cmdliner
 let seed_t =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+let family_t =
+  Arg.(value & opt family_conv Bip & info [ "family" ] ~doc:"Instance family: $(docv).")
+
+let n_t = Arg.(value & opt int 200 & info [ "n"; "size" ] ~doc:"Vertex count.")
+
+let density_t =
+  Arg.(value & opt float 16.0 & info [ "density" ] ~doc:"Average degree.")
+
+let weights_t =
+  Arg.(value & opt weights_conv Wuniform & info [ "weights" ] ~doc:"Weight distribution.")
+
+let algo_t =
+  Arg.(value & opt algo_conv Main_algo & info [ "algo" ] ~doc:"Algorithm.")
+
+let eps_t =
+  Arg.(value & opt float 0.1 & info [ "epsilon" ] ~doc:"Target slack for (1-eps) algorithms.")
+
+let input_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "input" ] ~docv:"FILE" ~doc:"Read the instance from a DIMACS-style file instead of generating one.")
+
 let solve_cmd =
-  let family_t =
-    Arg.(value & opt family_conv Bip & info [ "family" ] ~doc:"Instance family: $(docv).")
-  in
-  let n_t = Arg.(value & opt int 200 & info [ "n"; "size" ] ~doc:"Vertex count.") in
-  let density_t =
-    Arg.(value & opt float 16.0 & info [ "density" ] ~doc:"Average degree.")
-  in
-  let weights_t =
-    Arg.(value & opt weights_conv Wuniform & info [ "weights" ] ~doc:"Weight distribution.")
-  in
-  let algo_t =
-    Arg.(value & opt algo_conv Main_algo & info [ "algo" ] ~doc:"Algorithm.")
-  in
-  let eps_t =
-    Arg.(value & opt float 0.1 & info [ "epsilon" ] ~doc:"Target slack for (1-eps) algorithms.")
-  in
-  let input_t =
+  let json_t =
     Arg.(
       value
       & opt (some string) None
-      & info [ "input" ] ~docv:"FILE" ~doc:"Read the instance from a DIMACS-style file instead of generating one.")
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write a WM_STATS_v1 JSON report (result + obs counters) to $(docv).")
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Generate (or load) an instance and run one algorithm")
     Term.(
       const run_solve $ family_t $ n_t $ density_t $ weights_t $ seed_t
+      $ algo_t $ eps_t $ input_t $ json_t)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run one algorithm and print only the WM_STATS_v1 JSON report \
+             (result, approximation ratio, obs counters) on stdout")
+    Term.(
+      const run_stats $ family_t $ n_t $ density_t $ weights_t $ seed_t
       $ algo_t $ eps_t $ input_t)
 
 let experiment_cmd =
@@ -210,16 +305,6 @@ let experiment_cmd =
       $ ids_t $ full_t $ seed_t)
 
 let gen_cmd =
-  let family_t =
-    Arg.(value & opt family_conv Bip & info [ "family" ] ~doc:"Instance family.")
-  in
-  let n_t = Arg.(value & opt int 200 & info [ "n"; "size" ] ~doc:"Vertex count.") in
-  let density_t =
-    Arg.(value & opt float 16.0 & info [ "density" ] ~doc:"Average degree.")
-  in
-  let weights_t =
-    Arg.(value & opt weights_conv Wuniform & info [ "weights" ] ~doc:"Weight distribution.")
-  in
   let out_t =
     Arg.(
       required
@@ -246,6 +331,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "wm_cli" ~version:"1.0.0"
        ~doc:"Weighted matchings via unweighted augmentations (PODC 2019)")
-    [ solve_cmd; gen_cmd; experiment_cmd; list_cmd ]
+    [ solve_cmd; stats_cmd; gen_cmd; experiment_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

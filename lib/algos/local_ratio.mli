@@ -24,6 +24,13 @@ val create : ?eps:float -> ?meter:Wm_stream.Space_meter.t -> n:int -> unit -> t
 val feed : t -> Wm_graph.Edge.t -> unit
 (** Process one arriving edge. *)
 
+val feed_pushed : t -> Wm_graph.Edge.t -> bool
+(** Like {!feed}, but reports whether the edge was pushed on the stack.
+    Callers that key auxiliary state by endpoints (e.g. the
+    original-edge table of [Wgt_aug_paths]) must only update it for
+    pushed edges: a filtered duplicate can never surface in
+    {!unwind}. *)
+
 val freeze : t -> unit
 (** Freeze vertex potentials: subsequent {!feed} calls still push
     qualifying edges but no longer raise potentials. *)
@@ -43,12 +50,21 @@ val stack_edges : t -> Wm_graph.Edge.t list
 
 val unwind : t -> Wm_graph.Matching.t
 (** Greedy matching from the stack, most recent edge first; the stack is
-    not consumed. *)
+    not consumed.  The first unwind releases the stack's retained units
+    from the space meter — the content is handed over to the output
+    matching — so that a meter shared across phases does not stay
+    permanently elevated; repeated unwinds release nothing further. *)
 
 val unwind_onto : t -> Wm_graph.Matching.t -> unit
 (** Pops conceptually onto an existing matching: each stack edge (most
     recent first) is added when both endpoints are free (Algorithm 2,
-    lines 15–17).  Mutates the given matching. *)
+    lines 15–17).  Mutates the given matching.  Releases meter units
+    like {!unwind}. *)
+
+val reset : t -> unit
+(** Return the instance to its freshly-created state: clears the stack,
+    zeroes potentials, unfreezes, and releases any still-charged meter
+    units.  For reusing one instance (and its meter) across phases. *)
 
 val solve : ?eps:float -> Wm_stream.Edge_stream.t -> Wm_graph.Matching.t
 (** One-shot: feed one full pass and unwind. *)

@@ -1,6 +1,11 @@
 module M = Wm_graph.Matching
 module E = Wm_graph.Edge
 module Meter = Wm_stream.Space_meter
+module Obs = Wm_obs.Obs
+
+let c_retained = Obs.counter Obs.default "algos.unw3aug.support_retained"
+let c_cap_hits = Obs.counter Obs.default "algos.unw3aug.cap_hits"
+let c_augs = Obs.counter Obs.default "algos.unw3aug.augmentations"
 
 type aug3 = { left : E.t; mid : E.t; right : E.t }
 
@@ -50,8 +55,10 @@ let feed t e =
         t.deg.(free) <- t.deg.(free) + 1;
         t.deg.(matched) <- t.deg.(matched) + 1;
         t.size <- t.size + 1;
-        Meter.retain t.meter 1
+        Meter.retain t.meter 1;
+        Obs.incr c_retained
       end
+      else Obs.incr c_cap_hits
 
 let support_size t = t.size
 
@@ -88,6 +95,7 @@ let finalize t =
                 used.(w) <- true;
                 augs := { left = le; mid = mid_edge; right = re } :: !augs))
     t.mid;
+  Obs.add c_augs (List.length !augs);
   List.rev !augs
 
 let apply_all m augs =

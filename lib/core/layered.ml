@@ -1,6 +1,11 @@
 module E = Wm_graph.Edge
 module G = Wm_graph.Weighted_graph
 module M = Wm_graph.Matching
+module Obs = Wm_obs.Obs
+
+let c_builds = Obs.counter Obs.default "core.layered.builds"
+let c_edges = Obs.counter Obs.default "core.layered.edges"
+let c_edges_max = Obs.counter Obs.default "core.layered.edges_max"
 
 type parametrized = { side : bool array; graph : G.t; matching : M.t }
 
@@ -97,6 +102,9 @@ let build params gp pair ~scale =
   let edges = List.rev_append !x_edges !y_edges in
   let lgraph = G.create ~n:(layer_count * n) edges in
   let init = M.of_edges (layer_count * n) !x_edges in
+  Obs.incr c_builds;
+  Obs.add c_edges (List.length edges);
+  Obs.set_max c_edges_max (List.length edges);
   { base_n = n; layer_count; lgraph; init; pair; scale; side = gp.side }
 
 let left t x = t.side.(base_vertex ~base_n:t.base_n x)

@@ -1,9 +1,14 @@
 module G = Wm_graph.Weighted_graph
 module M = Wm_graph.Matching
+module Obs = Wm_obs.Obs
 
 let log_src = Logs.Src.create "wm.main_alg" ~doc:"Algorithm 3 improvement rounds"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let c_rounds = Obs.counter Obs.default "core.main_alg.rounds"
+let c_applied = Obs.counter Obs.default "core.main_alg.augmentations"
+let c_gain = Obs.counter Obs.default "core.main_alg.gain"
 
 type round_stats = {
   scales_tried : int;
@@ -30,6 +35,8 @@ let scales_for params g =
   end
 
 let improve_once params rng g m =
+  Obs.span_open Obs.default "core.main_alg.round";
+  Obs.incr c_rounds;
   let scales = scales_for params g in
   (* Collect augmentations per scale against the round-start matching;
      the k = 1 class (single-edge augmentations) is solved exactly and
@@ -65,6 +72,9 @@ let improve_once params rng g m =
   Log.debug (fun f ->
       f "round: %d scales, %d augmentations, gain %d, weight %d"
         (List.length scales) !applied !gain (M.weight m));
+  Obs.add c_applied !applied;
+  Obs.add c_gain (Stdlib.max 0 !gain);
+  Obs.span_close Obs.default;
   {
     scales_tried = List.length scales;
     augmentations_applied = !applied;

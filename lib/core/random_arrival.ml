@@ -4,6 +4,10 @@ module G = Wm_graph.Weighted_graph
 module S = Wm_stream.Edge_stream
 module LR = Wm_algos.Local_ratio
 module Meter = Wm_stream.Space_meter
+module Obs = Wm_obs.Obs
+
+let c_runs = Obs.counter Obs.default "core.random_arrival.runs"
+let c_t_retained = Obs.counter Obs.default "core.random_arrival.t_retained"
 
 type result = {
   matching : M.t;
@@ -25,6 +29,7 @@ let default_p ~n ~m =
   Stdlib.min 0.10 (Stdlib.max 0.02 (nlogn /. float_of_int (Stdlib.max 1 m)))
 
 let run ?p ?alpha ?beta ?(meter = Meter.create ()) ~rng stream =
+  Obs.incr c_runs;
   let n = S.graph_n stream in
   let m_edges = S.length stream in
   let p = match p with Some p -> p | None -> default_p ~n ~m:m_edges in
@@ -33,6 +38,8 @@ let run ?p ?alpha ?beta ?(meter = Meter.create ()) ~rng stream =
   let wap = ref None in
   let t_set = ref [] in
   let t_size = ref 0 in
+  Obs.span_open Obs.default "core.random_arrival";
+  Obs.span_open Obs.default "prefix";
   S.iteri stream (fun i e ->
       if i < cut then LR.feed lr e
       else begin
@@ -42,6 +49,8 @@ let run ?p ?alpha ?beta ?(meter = Meter.create ()) ~rng stream =
           | None ->
               (* Crossing the cut: unwind the prefix stack into M0,
                  freeze potentials, start WGT-AUG-PATHS. *)
+              Obs.span_close Obs.default (* prefix *);
+              Obs.span_open Obs.default "suffix";
               LR.freeze lr;
               let m0 = LR.unwind lr in
               let w = Wgt_aug_paths.create ?alpha ?beta ~meter ~rng ~m0 () in
@@ -51,10 +60,12 @@ let run ?p ?alpha ?beta ?(meter = Meter.create ()) ~rng stream =
         if LR.residual lr e > 0 then begin
           t_set := e :: !t_set;
           incr t_size;
+          Obs.incr c_t_retained;
           Meter.retain meter 1
         end;
         Wgt_aug_paths.feed w e
       end);
+  Obs.span_close Obs.default (* prefix or suffix *);
   (* Degenerate stream shorter than the cut: everything was prefix. *)
   let w =
     match !wap with
@@ -93,7 +104,10 @@ let run ?p ?alpha ?beta ?(meter = Meter.create ()) ~rng stream =
       best_residual
   end;
   LR.unwind_onto lr m1;
-  let wres = Wgt_aug_paths.finalize w in
+  let wres =
+    Obs.with_span Obs.default "finalize" (fun () -> Wgt_aug_paths.finalize w)
+  in
+  Obs.span_close Obs.default (* core.random_arrival *);
   let m2 = wres.Wgt_aug_paths.matching in
   let best = if M.weight m1 >= M.weight m2 then m1 else m2 in
   {

@@ -3,6 +3,14 @@ module M = Wm_graph.Matching
 module LR = Wm_algos.Local_ratio
 module U3 = Wm_algos.Unw3aug
 module Meter = Wm_stream.Space_meter
+module Obs = Wm_obs.Obs
+
+let c_marked = Obs.counter Obs.default "core.wap.marked"
+let c_fed = Obs.counter Obs.default "core.wap.fed"
+let c_excess_pushed = Obs.counter Obs.default "core.wap.excess_pushed"
+let c_duplicates = Obs.counter Obs.default "core.wap.duplicate_candidates"
+let c_forwarded = Obs.counter Obs.default "core.wap.forwarded"
+let c_augs = Obs.counter Obs.default "core.wap.augmentations"
 
 type result = {
   matching : M.t;
@@ -20,7 +28,12 @@ type t = {
   marked : int;
   instances : (int, U3.t) Hashtbl.t; (* weight class -> UNW-3-AUG-PATHS *)
   approx : LR.t; (* constant-factor matcher on excess weights *)
-  originals : (int * int, E.t) Hashtbl.t; (* endpoints -> original edge *)
+  (* endpoints -> (original edge, excess weight fed to [approx]) for the
+     most recently *stacked* excess candidate on that endpoint pair.
+     Only stacked candidates can surface in [LR.unwind], and the unwind
+     keeps the most recently stacked edge per endpoint pair, so this is
+     exactly the edge [finalize] must translate back. *)
+  originals : (int * int, E.t * int) Hashtbl.t;
   mutable forwarded : int;
 }
 
@@ -55,6 +68,7 @@ let create ?(alpha = 0.02) ?(beta = 0.4) ?(lr_eps = 0.5) ?(mark_prob = 0.5)
       let lambda = if List.length edges < small_class then Some max_int else None in
       Hashtbl.replace instances cls (U3.create ?lambda ~meter ~n ~mid ~beta ()))
     by_class;
+  Obs.add c_marked !marked;
   {
     m0 = M.copy m0;
     alpha;
@@ -70,20 +84,37 @@ let marked_count t = t.marked
 let forwarded_count t = t.forwarded
 
 let feed t e =
+  Obs.incr c_fed;
   let u, v = E.endpoints e in
   let w = float_of_int (E.weight e) in
   let w0u = M.weight_at t.m0 u and w0v = M.weight_at t.m0 v in
   let base = float_of_int (w0u + w0v) in
   (* Line 7: excess-weight candidates go to the approximate matcher. *)
   if E.weight e >= w0u + w0v then begin
-    Hashtbl.replace t.originals (E.endpoints e) e;
-    LR.feed t.approx (E.reweight e (E.weight e - w0u - w0v))
+    let excess = E.weight e - w0u - w0v in
+    let key = E.endpoints e in
+    if Hashtbl.mem t.originals key then Obs.incr c_duplicates;
+    (* Record the original only when the candidate is actually stacked:
+       a duplicate edge on the same endpoint pair that the matcher
+       filters out must not clobber the original behind an earlier
+       stacked edge, or [finalize] would rebuild [m1] from the wrong
+       (possibly lighter) original. *)
+    if LR.feed_pushed t.approx (E.reweight e excess) then begin
+      Obs.incr c_excess_pushed;
+      match Hashtbl.find_opt t.originals key with
+      | Some (prev, prev_excess)
+        when prev_excess = excess && E.weight prev >= E.weight e ->
+          (* Tie on the stacked residual: keep the heavier original. *)
+          ()
+      | _ -> Hashtbl.replace t.originals key (e, excess)
+    end
   end;
   (* Lines 9–15: small-excess edges are filtered towards the
      3-augmentation instances of their own weight class. *)
   if w <= (1. +. t.alpha) *. base && E.weight e >= 1 then begin
     let forward () =
       t.forwarded <- t.forwarded + 1;
+      Obs.incr c_forwarded;
       (* A_i for a class with no marked middle edges is a no-op. *)
       let cls = Weight_class.doubling_class (E.weight e) in
       match Hashtbl.find_opt t.instances cls with
@@ -108,7 +139,11 @@ let finalize t =
   M.iter
     (fun e' ->
       match Hashtbl.find_opt t.originals (E.endpoints e') with
-      | Some original -> ignore (M.add_evicting m1 original)
+      | Some (original, excess) ->
+          (* The unwound edge carries the excess weight of the stacked
+             candidate the table tracks. *)
+          assert (E.weight e' = excess);
+          ignore (M.add_evicting m1 original)
       | None -> assert false)
     m';
   (* M2: apply 3-augmentations greedily from the heaviest class down
@@ -140,6 +175,7 @@ let finalize t =
           end)
         (U3.finalize inst))
     classes;
+  Obs.add c_augs !applied;
   let best = if M.weight m1 >= M.weight m2 then m1 else m2 in
   {
     matching = best;

@@ -1,5 +1,8 @@
 module G = Wm_graph.Weighted_graph
 module M = Wm_graph.Matching
+module Obs = Wm_obs.Obs
+
+let c_augs = Obs.counter Obs.default "exact.blossom.augmentations"
 
 (* Edmonds' algorithm with blossom contraction via base pointers
    (the classic array formulation).  For each free vertex we grow an
@@ -97,7 +100,7 @@ let solve g =
         true
   in
   for v = 0 to n - 1 do
-    if mate.(v) = -1 then ignore (find_path v)
+    if mate.(v) = -1 then if find_path v then Obs.incr c_augs
   done;
   let m = M.create n in
   for v = 0 to n - 1 do

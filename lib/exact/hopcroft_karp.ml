@@ -1,6 +1,10 @@
 module G = Wm_graph.Weighted_graph
 module M = Wm_graph.Matching
 module E = Wm_graph.Edge
+module Obs = Wm_obs.Obs
+
+let c_phases = Obs.counter Obs.default "exact.hopcroft_karp.phases"
+let c_augs = Obs.counter Obs.default "exact.hopcroft_karp.augmentations"
 
 let inf = max_int
 
@@ -73,9 +77,10 @@ let solve ?init ?(max_phases = max_int) g ~left =
   while !continue && !phases < max_phases do
     if bfs () then begin
       for u = 0 to n - 1 do
-        if left u && mate.(u) = -1 then ignore (dfs u)
+        if left u && mate.(u) = -1 then if dfs u then Obs.incr c_augs
       done;
-      incr phases
+      incr phases;
+      Obs.incr c_phases
     end
     else continue := false
   done;

@@ -48,17 +48,29 @@ let try_add m e =
 
 let remove m e =
   let u, v = Edge.endpoints e in
-  (match m.mates.(u) with
-  | Some e' when Edge.same_endpoints e e' -> ()
-  | _ ->
-      invalid_arg
-        (Printf.sprintf "Matching.remove: edge %s not in matching"
-           (Edge.to_string e)));
-  let w = match m.mates.(u) with Some e' -> Edge.weight e' | None -> 0 in
+  (* Validate both slots: removing while only one endpoint agrees would
+     leave a stale mate behind and silently desync [size]/[weight]. *)
+  let slot x =
+    match m.mates.(x) with
+    | Some e' when Edge.same_endpoints e e' -> e'
+    | Some e' ->
+        invalid_arg
+          (Printf.sprintf "Matching.remove: stale mate %s at vertex %d while removing %s"
+             (Edge.to_string e') x (Edge.to_string e))
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Matching.remove: edge %s not in matching"
+             (Edge.to_string e))
+  in
+  let eu = slot u and ev = slot v in
+  if Edge.weight eu <> Edge.weight ev then
+    invalid_arg
+      (Printf.sprintf "Matching.remove: mate weights desynced (%s at %d, %s at %d)"
+         (Edge.to_string eu) u (Edge.to_string ev) v);
   m.mates.(u) <- None;
   m.mates.(v) <- None;
   m.size <- m.size - 1;
-  m.weight <- m.weight - w
+  m.weight <- m.weight - Edge.weight eu
 
 let remove_at m v =
   match m.mates.(v) with

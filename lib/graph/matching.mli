@@ -59,7 +59,9 @@ val try_add : t -> Edge.t -> bool
 
 val remove : t -> Edge.t -> unit
 (** Removes an edge.  Raises [Invalid_argument] if the edge (by
-    endpoints) is not in the matching. *)
+    endpoints) is not in the matching, or if the two endpoint slots
+    disagree (a stale mate left by a buggy caller) — both endpoints are
+    validated so that removal can never half-apply. *)
 
 val remove_at : t -> int -> Edge.t option
 (** [remove_at m v] removes and returns the matching edge at [v], if any. *)

@@ -4,13 +4,19 @@
     paper claim it regenerates, a fixed-width table of rows, and a note
     describing the expected shape (who wins, by what factor).  The
     formatting is deliberately stable so EXPERIMENTS.md can quote the
-    output verbatim. *)
+    output verbatim.
+
+    The module can additionally {e capture} everything printed into a
+    structured form (see {!start_capture}), which the bench driver uses
+    to emit machine-readable BENCH_v1.json reports without touching any
+    experiment code. *)
 
 val section : id:string -> title:string -> claim:string -> unit
 (** Print the experiment banner. *)
 
 val table_header : string list -> unit
-(** Print column names and a separator; column width is fixed at 12. *)
+(** Print column names and a separator; column width is fixed at 12.
+    When capturing, starts a new table within the current section. *)
 
 val row : string list -> unit
 
@@ -23,6 +29,27 @@ val cell_s : string -> string
 
 val note : string -> unit
 (** Print a wrapped "shape:" footnote. *)
+
+(** {1 Structured capture} *)
+
+type table = { columns : string list; rows : string list list }
+
+type captured_section = {
+  id : string;
+  title : string;
+  claim : string;
+  tables : table list;  (** in print order; one per {!table_header} call *)
+  notes : string list;
+}
+
+val start_capture : unit -> unit
+(** Begin recording sections/tables/rows/notes as they are printed.
+    Idempotent restart: any previously captured data is discarded. *)
+
+val capture : unit -> captured_section list
+(** Stop capturing and return the sections recorded since
+    {!start_capture}, in print order.  Returns [[]] when capture was
+    never started. *)
 
 val mean : float list -> float
 

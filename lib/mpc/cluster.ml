@@ -1,3 +1,8 @@
+module Obs = Wm_obs.Obs
+
+let c_rounds = Obs.counter Obs.default "mpc.rounds"
+let c_load_max = Obs.counter Obs.default "mpc.machine_load_max"
+
 type t = {
   machines : int;
   memory_words : int;
@@ -19,10 +24,12 @@ let peak_machine_memory t = t.peak
 
 let charge_rounds t k =
   if k < 0 then invalid_arg "Cluster.charge_rounds: negative";
-  t.rounds <- t.rounds + k
+  t.rounds <- t.rounds + k;
+  Obs.add c_rounds k
 
 let check_load t ~machine ~words =
   if words > t.peak then t.peak <- words;
+  Obs.set_max c_load_max words;
   if words > t.memory_words then
     raise (Memory_exceeded { machine; used = words; capacity = t.memory_words })
 

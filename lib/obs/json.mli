@@ -1,0 +1,33 @@
+(** A minimal JSON tree with a hand-rolled printer and parser.
+
+    The observability registry ({!Obs}) and the bench harness serialise
+    through this module so that no external JSON dependency is needed.
+    The printer always emits valid JSON (non-finite floats become
+    [null]); the parser accepts exactly the JSON grammar and exists so
+    that tooling (the [@bench-smoke] alias) can validate emitted
+    reports. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering, for files meant to be diffed. *)
+
+val to_channel : out_channel -> t -> unit
+(** Pretty-prints to a channel with a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error msg] carries the position of
+    the first offending character. *)
+
+val member : string -> t -> t option
+(** [member key json] looks up [key] when [json] is an object. *)

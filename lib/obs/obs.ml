@@ -1,0 +1,131 @@
+type counter = { mutable value : int }
+
+type timer = { mutable total_ns : int; mutable count : int }
+
+type open_span = { path : string; start_ns : int }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  timers : (string, timer) Hashtbl.t;
+  gauges : (string, unit -> int) Hashtbl.t;
+  mutable open_spans : open_span list;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 64;
+    timers = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    open_spans = [];
+  }
+
+let default = create ()
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = { value = 0 } in
+      Hashtbl.add t.counters name c;
+      c
+
+let incr c = c.value <- c.value + 1
+
+let add c k =
+  if k < 0 then invalid_arg "Obs.add: counters are monotone";
+  c.value <- c.value + k
+
+let set_max c v = if v > c.value then c.value <- v
+let value c = c.value
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.value | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Timers *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let span_open t name =
+  let path =
+    match t.open_spans with
+    | [] -> name
+    | outer :: _ -> outer.path ^ "/" ^ name
+  in
+  t.open_spans <- { path; start_ns = now_ns () } :: t.open_spans
+
+let span_close t =
+  match t.open_spans with
+  | [] -> invalid_arg "Obs.span_close: no open span"
+  | { path; start_ns } :: rest ->
+      t.open_spans <- rest;
+      let elapsed = Stdlib.max 0 (now_ns () - start_ns) in
+      let timer =
+        match Hashtbl.find_opt t.timers path with
+        | Some tm -> tm
+        | None ->
+            let tm = { total_ns = 0; count = 0 } in
+            Hashtbl.add t.timers path tm;
+            tm
+      in
+      timer.total_ns <- timer.total_ns + elapsed;
+      timer.count <- timer.count + 1
+
+let with_span t name f =
+  span_open t name;
+  match f () with
+  | v ->
+      span_close t;
+      v
+  | exception exn ->
+      span_close t;
+      raise exn
+
+let span_total_ns t path =
+  match Hashtbl.find_opt t.timers path with Some tm -> tm.total_ns | None -> 0
+
+let span_count t path =
+  match Hashtbl.find_opt t.timers path with Some tm -> tm.count | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Gauges *)
+
+let gauge t name read = Hashtbl.replace t.gauges name read
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_json t =
+  let counters =
+    List.map (fun (k, c) -> (k, Json.Int c.value)) (sorted_bindings t.counters)
+  in
+  let timers =
+    List.map
+      (fun (k, tm) ->
+        (k, Json.Obj [ ("total_ns", Json.Int tm.total_ns); ("count", Json.Int tm.count) ]))
+      (sorted_bindings t.timers)
+  in
+  let gauges =
+    List.map (fun (k, read) -> (k, Json.Int (read ()))) (sorted_bindings t.gauges)
+  in
+  Json.Obj
+    [ ("counters", Json.Obj counters); ("timers", Json.Obj timers);
+      ("gauges", Json.Obj gauges) ]
+
+let reset t =
+  (* Zero in place: modules intern counter handles at init time, so the
+     handles must survive a reset. *)
+  Hashtbl.iter (fun _ c -> c.value <- 0) t.counters;
+  Hashtbl.iter
+    (fun _ tm ->
+      tm.total_ns <- 0;
+      tm.count <- 0)
+    t.timers;
+  t.open_spans <- []

@@ -1,0 +1,93 @@
+(** Lightweight metrics for the matching library.
+
+    A registry holds three kinds of instruments:
+
+    - {e counters}: named, monotonically non-decreasing integers
+      (events, items processed, high-water marks via {!set_max});
+    - {e timers}: wall-clock phase spans.  Spans nest: closing returns
+      to the enclosing span, and a span opened while ["a"] is open is
+      recorded under the path ["a/b"];
+    - {e gauges}: named callbacks sampled at snapshot time, used to
+      expose externally-owned state such as a
+      [Wm_stream.Space_meter.t]'s current and peak values.
+
+    Every instrument lives in a registry; {!default} is the process-wide
+    registry the library instruments itself against, so that callers get
+    observability without threading a handle through every API.  The
+    whole registry serialises to {!Json.t} with no dependencies beyond
+    [unix] (for {!now_ns}). *)
+
+type t
+(** A registry. *)
+
+type counter
+
+val create : unit -> t
+(** A fresh, empty registry. *)
+
+val default : t
+(** The process-wide registry used by the library's own
+    instrumentation.  Counter names are documented in DESIGN.md §4. *)
+
+(** {1 Counters} *)
+
+val counter : t -> string -> counter
+(** [counter reg name] returns the counter registered under [name],
+    creating it at zero on first use.  Counters are interned: repeated
+    calls with the same name return the same counter. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** Raises [Invalid_argument] on negative increments — counters are
+    monotone. *)
+
+val set_max : counter -> int -> unit
+(** [set_max c v] raises [c] to [v] if [v] is larger (high-water-mark
+    counters stay monotone). *)
+
+val value : counter -> int
+
+val counter_value : t -> string -> int
+(** [counter_value reg name] is the current value, or [0] when [name]
+    was never registered. *)
+
+(** {1 Timers} *)
+
+val now_ns : unit -> int
+(** Wall-clock nanoseconds since the epoch (microsecond-granular). *)
+
+val span_open : t -> string -> unit
+(** Open a phase span.  Nested opens record under ["outer/inner"]. *)
+
+val span_close : t -> unit
+(** Close the innermost open span, accumulating its wall-clock duration.
+    Raises [Invalid_argument] when no span is open. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [with_span reg name f] runs [f] inside a span, closing it even when
+    [f] raises. *)
+
+val span_total_ns : t -> string -> int
+(** Accumulated nanoseconds recorded under a span path ([0] if never
+    closed). *)
+
+val span_count : t -> string -> int
+(** Number of closed spans recorded under a path. *)
+
+(** {1 Gauges} *)
+
+val gauge : t -> string -> (unit -> int) -> unit
+(** [gauge reg name read] registers (or re-registers) a sampling
+    callback evaluated at {!to_json} time. *)
+
+(** {1 Snapshots} *)
+
+val to_json : t -> Json.t
+(** [{"counters": {..}, "timers": {name: {"total_ns": .., "count": ..}},
+    "gauges": {..}}] with names sorted for stable diffs.  Open spans are
+    not included until closed. *)
+
+val reset : t -> unit
+(** Zero all counters and timers and drop open spans.  Gauge
+    registrations survive (their backing state is caller-owned). *)

@@ -7,6 +7,13 @@ type order =
   | Increasing_weight
   | Decreasing_weight
 
+module Obs = Wm_obs.Obs
+
+let c_streams = Obs.counter Obs.default "stream.created"
+let c_passes = Obs.counter Obs.default "stream.passes"
+let c_edges_seen = Obs.counter Obs.default "stream.edges_seen"
+let c_max_length = Obs.counter Obs.default "stream.length_max"
+
 type t = { n : int; edges : E.t array; mutable passes : int }
 
 let arrange order edges =
@@ -20,11 +27,15 @@ let arrange order edges =
       Array.sort (fun a b -> Int.compare (E.weight b) (E.weight a)) edges);
   edges
 
-let of_graph ?(order = As_given) g =
-  { n = G.n g; edges = arrange order (G.edges g); passes = 0 }
+let make n edges =
+  Obs.incr c_streams;
+  Obs.set_max c_max_length (Array.length edges);
+  { n; edges; passes = 0 }
+
+let of_graph ?(order = As_given) g = make (G.n g) (arrange order (G.edges g))
 
 let of_edges ?(order = As_given) ~n edges =
-  { n; edges = arrange order (Array.of_list edges); passes = 0 }
+  make n (arrange order (Array.of_list edges))
 
 let graph_n t = t.n
 let length t = Array.length t.edges
@@ -32,15 +43,20 @@ let passes t = t.passes
 
 let iter t f =
   t.passes <- t.passes + 1;
+  Obs.incr c_passes;
+  Obs.add c_edges_seen (Array.length t.edges);
   Array.iter f t.edges
 
 let iteri t f =
   t.passes <- t.passes + 1;
+  Obs.incr c_passes;
+  Obs.add c_edges_seen (Array.length t.edges);
   Array.iteri f t.edges
 
 let charge_passes t k =
   if k < 0 then invalid_arg "Edge_stream.charge_passes: negative";
-  t.passes <- t.passes + k
+  t.passes <- t.passes + k;
+  Obs.add c_passes k
 
 let nth t i = t.edges.(i)
 

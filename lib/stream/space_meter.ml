@@ -1,12 +1,21 @@
+module Obs = Wm_obs.Obs
+
+let c_retained = Obs.counter Obs.default "space.retained_total"
+let c_peak = Obs.counter Obs.default "space.peak_max"
+
 type t = { mutable current : int; mutable peak : int }
 
 let create () = { current = 0; peak = 0 }
 
 let bump t =
-  if t.current > t.peak then t.peak <- t.current
+  if t.current > t.peak then begin
+    t.peak <- t.current;
+    Obs.set_max c_peak t.peak
+  end
 
 let retain t k =
   t.current <- t.current + k;
+  Obs.add c_retained (Stdlib.max 0 k);
   bump t
 
 let release t k =
@@ -25,3 +34,7 @@ let reset t =
   t.peak <- 0
 
 let merge_peaks meters = List.fold_left (fun acc m -> acc + m.peak) 0 meters
+
+let observe ?(name = "space") t =
+  Obs.gauge Obs.default (name ^ ".current") (fun () -> t.current);
+  Obs.gauge Obs.default (name ^ ".peak") (fun () -> t.peak)

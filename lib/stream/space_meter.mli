@@ -30,3 +30,9 @@ val reset : t -> unit
 val merge_peaks : t list -> int
 (** Sum of peaks — an upper bound on the peak of algorithms running in
     parallel on the same stream. *)
+
+val observe : ?name:string -> t -> unit
+(** [observe ~name t] registers [name ^ ".current"] and
+    [name ^ ".peak"] gauges for this meter in {!Wm_obs.Obs.default}
+    ([name] defaults to ["space"]; re-registering a name rebinds it to
+    the newest meter). *)

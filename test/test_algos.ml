@@ -109,6 +109,35 @@ let test_lr_meter () =
   LR.feed t (E.make 2 3 5);
   check "metered" 2 (Meter.peak meter)
 
+let test_lr_meter_released_on_unwind () =
+  (* Regression: units retained for stacked edges must be handed back
+     on unwind (once — repeated unwinds must not double-release), so a
+     shared meter does not stay inflated after the instance is done. *)
+  let meter = Meter.create () in
+  let t = LR.create ~meter ~n:6 () in
+  LR.feed t (E.make 0 1 5);
+  LR.feed t (E.make 2 3 5);
+  check "held while stacked" 2 (Meter.current meter);
+  ignore (LR.unwind t);
+  check "released on unwind" 0 (Meter.current meter);
+  ignore (LR.unwind t);
+  check "second unwind releases nothing" 0 (Meter.current meter);
+  check "peak preserved" 2 (Meter.peak meter)
+
+let test_lr_reset_reuses_instance () =
+  let meter = Meter.create () in
+  let t = LR.create ~meter ~n:4 () in
+  LR.feed t (E.make 0 1 5);
+  LR.freeze t;
+  LR.reset t;
+  check "meter drained by reset" 0 (Meter.current meter);
+  check "stack cleared" 0 (LR.stack_size t);
+  check_bool "unfrozen" false (LR.is_frozen t);
+  (* A reused instance accepts edges the old potentials would block. *)
+  check_bool "accepts light edge after reset" true
+    (LR.feed_pushed t (E.make 0 1 1));
+  check "rebuilt matching" 1 (M.weight (LR.unwind t))
+
 let test_lr_guarantee_random =
   QCheck2.Test.make ~name:"local-ratio is 1/2-approximate" ~count:150
     QCheck2.Gen.(int_range 0 1_000_000)
@@ -375,6 +404,10 @@ let () =
           Alcotest.test_case "eps truncation" `Quick test_lr_eps_truncation;
           Alcotest.test_case "unwind onto" `Quick test_lr_unwind_onto;
           Alcotest.test_case "meter" `Quick test_lr_meter;
+          Alcotest.test_case "meter released on unwind" `Quick
+            test_lr_meter_released_on_unwind;
+          Alcotest.test_case "reset reuses instance" `Quick
+            test_lr_reset_reuses_instance;
         ] );
       ( "unw3aug",
         [

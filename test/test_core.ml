@@ -471,6 +471,85 @@ let test_wap_filter_thresholds () =
   WAP.feed wap (E.make 0 1 6 |> fun _ -> E.make 3 2 6);
   check "above threshold forwarded" 1 (WAP.forwarded_count wap)
 
+let test_wap_duplicate_edge_keeps_pushed_original () =
+  (* Regression: a later, lighter duplicate on the same endpoint pair
+     must not clobber the original recorded for the edge actually held
+     by the local-ratio stack — otherwise finalize rebuilds M1 from the
+     wrong (lighter) original. *)
+  let m0 = M.of_edges 4 [ E.make 0 1 3; E.make 2 3 3 ] in
+  let wap = WAP.create ~rng:(P.create 48) ~m0 () in
+  WAP.feed wap (E.make 1 2 100);
+  (* Same endpoints, still above w(M0 u) + w(M0 v) = 6, but the stacked
+     excess 94 dominates so local-ratio rejects this candidate. *)
+  WAP.feed wap (E.make 1 2 10);
+  let r = WAP.finalize wap in
+  check "m1 keeps the heavy original" 100 (M.weight r.WAP.m1);
+  check "best is m1" 100 (M.weight r.WAP.matching)
+
+let test_wap_duplicate_stream_property () =
+  (* Under streams with many duplicate endpoint pairs, finalize must
+     still return valid matchings, M1 must never lose weight against
+     M0, and the reported best must be the heavier of M1 and M2. *)
+  for seed = 0 to 9 do
+    let prng = P.create (900 + seed) in
+    let n = 40 in
+    let m0 =
+      M.of_edges n
+        (List.init (n / 4) (fun i ->
+             E.make (2 * i) ((2 * i) + 1) (1 + P.int prng 20)))
+    in
+    (* A small pool of endpoint pairs, each fed several times with
+       different weights: duplicates are the norm, not the exception. *)
+    let pool =
+      Array.init 60 (fun _ ->
+          let u = P.int prng n in
+          let v = (u + 1 + P.int prng (n - 1)) mod n in
+          (min u v, max u v))
+    in
+    let fed = ref [] in
+    let wap = WAP.create ~rng:(P.create (700 + seed)) ~m0 () in
+    for _ = 1 to 200 do
+      let u, v = pool.(P.int prng (Array.length pool)) in
+      let e = E.make u v (1 + P.int prng 60) in
+      if not (M.mem m0 e) then begin
+        WAP.feed wap e;
+        fed := e :: !fed
+      end
+    done;
+    let r = WAP.finalize wap in
+    (* The stream carries parallel edges, so validate structurally:
+       edges pairwise vertex-disjoint, bookkept weight consistent, and
+       every matched edge was actually fed (or came from M0). *)
+    let known = Hashtbl.create 64 in
+    List.iter
+      (fun e -> Hashtbl.replace known (E.endpoints e, E.weight e) ())
+      (M.fold (fun acc e -> e :: acc) !fed m0);
+    let check_matching label m =
+      let seen = Hashtbl.create 16 in
+      let sum = ref 0 in
+      M.iter
+        (fun e ->
+          let u, v = E.endpoints e in
+          check_bool (label ^ ": endpoint disjoint") false
+            (Hashtbl.mem seen u || Hashtbl.mem seen v);
+          Hashtbl.replace seen u ();
+          Hashtbl.replace seen v ();
+          check_bool
+            (label ^ ": edge was fed")
+            true
+            (Hashtbl.mem known (E.endpoints e, E.weight e));
+          sum := !sum + E.weight e)
+        m;
+      check (label ^ ": weight consistent") !sum (M.weight m)
+    in
+    check_matching "m1" r.WAP.m1;
+    check_matching "m2" r.WAP.m2;
+    check_bool "m1 never below m0" true (M.weight r.WAP.m1 >= M.weight m0);
+    check "best is max(m1, m2)"
+      (Stdlib.max (M.weight r.WAP.m1) (M.weight r.WAP.m2))
+      (M.weight r.WAP.matching)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Random_arrival (Algorithm 2) *)
 
@@ -959,6 +1038,10 @@ let () =
           Alcotest.test_case "excess branch" `Quick test_wap_excess_path;
           Alcotest.test_case "no feed" `Quick test_wap_no_feed_no_change;
           Alcotest.test_case "filter thresholds" `Quick test_wap_filter_thresholds;
+          Alcotest.test_case "duplicate edge keeps pushed original" `Quick
+            test_wap_duplicate_edge_keeps_pushed_original;
+          Alcotest.test_case "duplicate stream property" `Quick
+            test_wap_duplicate_stream_property;
         ] );
       ( "random_arrival",
         [

@@ -185,6 +185,34 @@ let test_matching_add_remove () =
   check "size after remove" 1 (M.size m);
   check "weight after remove" 7 (M.weight m)
 
+let test_matching_remove_validates_both_endpoints () =
+  (* Regression: remove must check the slot at BOTH endpoints before
+     mutating anything, so a mismatched call raises and the matching is
+     left fully intact — never half-applied. *)
+  let m = M.of_edges 6 [ E.make 0 1 5; E.make 2 3 7 ] in
+  let unchanged label =
+    check (label ^ ": size") 2 (M.size m);
+    check (label ^ ": weight") 12 (M.weight m);
+    Alcotest.(check (option int)) (label ^ ": mate 1") (Some 0) (M.mate m 1);
+    Alcotest.(check (option int)) (label ^ ": mate 2") (Some 3) (M.mate m 2)
+  in
+  (* Absent edge whose lower endpoint is matched (to someone else). *)
+  (try
+     M.remove m (E.make 1 2 9);
+     Alcotest.fail "remove of absent edge did not raise"
+   with Invalid_argument _ -> ());
+  unchanged "after absent edge";
+  (* Absent edge with both endpoints free. *)
+  (try
+     M.remove m (E.make 4 5 1);
+     Alcotest.fail "remove of unmatched pair did not raise"
+   with Invalid_argument _ -> ());
+  unchanged "after unmatched pair";
+  (* A well-formed remove still works after the failed attempts. *)
+  M.remove m (E.make 0 1 5);
+  check "size after remove" 1 (M.size m);
+  check "weight after remove" 7 (M.weight m)
+
 let test_matching_conflict () =
   let m = M.create 4 in
   M.add m (E.make 0 1 1);
@@ -257,6 +285,60 @@ let test_symmetric_difference_common_edge () =
   match M.symmetric_difference m1 m2 with
   | [ comp ] -> check "2-cycle" 2 (List.length comp)
   | comps -> Alcotest.failf "expected 1 component, got %d" (List.length comps)
+
+let test_symmetric_difference_random_property () =
+  (* On random matching pairs, every component of the symmetric
+     difference is an alternating path or cycle: max degree 2, zero or
+     two odd-degree vertices, components vertex-disjoint, edges drawn
+     from the two matchings with alternating membership. *)
+  for seed = 0 to 9 do
+    let prng = P.create (300 + seed) in
+    let n = 30 in
+    let random_matching () =
+      let m = M.create n in
+      for _ = 1 to 40 do
+        let u = P.int prng n and v = P.int prng n in
+        if u <> v then
+          ignore (M.try_add m (E.make (min u v) (max u v) (1 + P.int prng 9)))
+      done;
+      m
+    in
+    let m1 = random_matching () and m2 = random_matching () in
+    let global = Hashtbl.create 32 in
+    List.iter
+      (fun comp ->
+        let deg = Hashtbl.create 16 in
+        let inc = Hashtbl.create 16 in
+        List.iter
+          (fun e ->
+            check_bool "edge from m1 or m2" true (M.mem m1 e || M.mem m2 e);
+            let u, v = E.endpoints e in
+            List.iter
+              (fun x ->
+                Hashtbl.replace deg x
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt deg x));
+                Hashtbl.add inc x e)
+              [ u; v ])
+          comp;
+        let odd =
+          Hashtbl.fold (fun _ d acc -> if d = 1 then acc + 1 else acc) deg 0
+        in
+        check_bool "path or cycle" true (odd = 0 || odd = 2);
+        Hashtbl.iter
+          (fun v d ->
+            check_bool "degree at most 2" true (d <= 2);
+            check_bool "components vertex-disjoint" false (Hashtbl.mem global v);
+            if d = 2 then
+              match Hashtbl.find_all inc v with
+              | [ e1; e2 ] ->
+                  check_bool "alternates at vertex" true
+                    ((M.mem m1 e1 || M.mem m1 e2)
+                    && (M.mem m2 e1 || M.mem m2 e2))
+              | _ -> ())
+          deg;
+        Hashtbl.iter (fun v _ -> Hashtbl.replace global v ()) deg)
+      (M.symmetric_difference m1 m2)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Union_find *)
@@ -562,6 +644,8 @@ let () =
       ( "matching",
         [
           Alcotest.test_case "add/remove" `Quick test_matching_add_remove;
+          Alcotest.test_case "remove validates both endpoints" `Quick
+            test_matching_remove_validates_both_endpoints;
           Alcotest.test_case "conflicts" `Quick test_matching_conflict;
           Alcotest.test_case "add raises" `Quick test_matching_add_raises;
           Alcotest.test_case "mate" `Quick test_matching_mate;
@@ -574,6 +658,8 @@ let () =
           Alcotest.test_case "symdiff cycle" `Quick test_symmetric_difference_cycle;
           Alcotest.test_case "symdiff common edge" `Quick
             test_symmetric_difference_common_edge;
+          Alcotest.test_case "symdiff random property" `Quick
+            test_symmetric_difference_random_property;
         ] );
       ( "union_find",
         [

@@ -1,0 +1,202 @@
+(* Tests for wm_obs: counters, spans, gauges, JSON snapshots, and the
+   in-house JSON parser used by the bench-smoke validator. *)
+
+module Obs = Wm_obs.Obs
+module J = Wm_obs.Json
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+let test_counter_basics () =
+  let reg = Obs.create () in
+  let c = Obs.counter reg "a.b" in
+  check "starts at zero" 0 (Obs.value c);
+  Obs.incr c;
+  Obs.add c 4;
+  check "incr+add" 5 (Obs.value c);
+  check "by name" 5 (Obs.counter_value reg "a.b");
+  check "unknown name" 0 (Obs.counter_value reg "nope")
+
+let test_counter_interned () =
+  let reg = Obs.create () in
+  let c1 = Obs.counter reg "shared" in
+  let c2 = Obs.counter reg "shared" in
+  Obs.incr c1;
+  Obs.incr c2;
+  check "same counter" 2 (Obs.value c1)
+
+let test_counter_negative_raises () =
+  let reg = Obs.create () in
+  let c = Obs.counter reg "mono" in
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Obs.add: counters are monotone") (fun () ->
+      Obs.add c (-1))
+
+let test_set_max () =
+  let reg = Obs.create () in
+  let c = Obs.counter reg "hwm" in
+  Obs.set_max c 7;
+  Obs.set_max c 3;
+  check "keeps max" 7 (Obs.value c);
+  Obs.set_max c 11;
+  check "raises to larger" 11 (Obs.value c)
+
+(* ------------------------------------------------------------------ *)
+(* Timers *)
+
+let test_span_nesting () =
+  let reg = Obs.create () in
+  Obs.span_open reg "outer";
+  Obs.span_open reg "inner";
+  Obs.span_close reg;
+  Obs.span_close reg;
+  check "outer count" 1 (Obs.span_count reg "outer");
+  check "nested path count" 1 (Obs.span_count reg "outer/inner");
+  check "no bare inner" 0 (Obs.span_count reg "inner");
+  check_bool "outer total >= 0" true (Obs.span_total_ns reg "outer" >= 0)
+
+let test_span_close_without_open () =
+  let reg = Obs.create () in
+  Alcotest.check_raises "close on empty"
+    (Invalid_argument "Obs.span_close: no open span") (fun () ->
+      Obs.span_close reg)
+
+let test_with_span_exception_safe () =
+  let reg = Obs.create () in
+  (try Obs.with_span reg "boom" (fun () -> failwith "x") with Failure _ -> ());
+  check "span closed despite raise" 1 (Obs.span_count reg "boom");
+  (* The stack is balanced: a fresh span does not nest under "boom". *)
+  Obs.with_span reg "after" (fun () -> ());
+  check "not nested" 1 (Obs.span_count reg "after")
+
+(* ------------------------------------------------------------------ *)
+(* Gauges and snapshots *)
+
+let test_gauge_sampled_at_snapshot () =
+  let reg = Obs.create () in
+  let v = ref 5 in
+  Obs.gauge reg "g" (fun () -> !v);
+  v := 9;
+  match J.member "gauges" (Obs.to_json reg) with
+  | Some (J.Obj [ ("g", J.Int got) ]) -> check "sampled late" 9 got
+  | _ -> Alcotest.fail "gauges not in snapshot"
+
+let test_to_json_round_trip () =
+  let reg = Obs.create () in
+  Obs.add (Obs.counter reg "z.last") 3;
+  Obs.add (Obs.counter reg "a.first") 1;
+  Obs.with_span reg "phase" (fun () -> ());
+  let text = J.to_string (Obs.to_json reg) in
+  match J.of_string text with
+  | Error e -> Alcotest.fail ("snapshot does not re-parse: " ^ e)
+  | Ok json -> (
+      (match J.member "counters" json with
+      | Some (J.Obj fields) ->
+          check_str "sorted names" "a.first" (fst (List.hd fields));
+          check_bool "values survive" true
+            (List.assoc "z.last" fields = J.Int 3)
+      | _ -> Alcotest.fail "no counters object");
+      match J.member "timers" json with
+      | Some (J.Obj [ ("phase", J.Obj fields) ]) ->
+          check_bool "timer has count" true
+            (List.assoc "count" fields = J.Int 1)
+      | _ -> Alcotest.fail "no timers object")
+
+let test_reset_preserves_handles () =
+  let reg = Obs.create () in
+  let c = Obs.counter reg "kept" in
+  Obs.add c 10;
+  Obs.reset reg;
+  check "zeroed" 0 (Obs.value c);
+  (* Handles interned before the reset keep feeding the registry. *)
+  Obs.incr c;
+  check "still wired" 1 (Obs.counter_value reg "kept")
+
+(* ------------------------------------------------------------------ *)
+(* JSON parser *)
+
+let test_json_parse_accepts () =
+  let cases =
+    [
+      ("null", J.Null);
+      ("true", J.Bool true);
+      ("-42", J.Int (-42));
+      ("3.5", J.Float 3.5);
+      ("\"a\\nb\\\"c\"", J.Str "a\nb\"c");
+      ("[1, 2]", J.List [ J.Int 1; J.Int 2 ]);
+      ("{\"k\": [true]}", J.Obj [ ("k", J.List [ J.Bool true ]) ]);
+      ("{}", J.Obj []);
+    ]
+  in
+  List.iter
+    (fun (text, want) ->
+      match J.of_string text with
+      | Ok got -> check_bool text true (got = want)
+      | Error e -> Alcotest.fail (text ^ ": " ^ e))
+    cases
+
+let test_json_parse_rejects () =
+  List.iter
+    (fun text ->
+      match J.of_string text with
+      | Ok _ -> Alcotest.fail ("accepted invalid: " ^ text)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"k\":}"; "nul"; "\"unterminated"; "1 2"; "{'k':1}" ]
+
+let test_json_print_parse_identity () =
+  let j =
+    J.Obj
+      [
+        ("s", J.Str "text with \"quotes\" and \\ and \n");
+        ("xs", J.List [ J.Null; J.Bool false; J.Int 0; J.Float 1.25 ]);
+      ]
+  in
+  (match J.of_string (J.to_string j) with
+  | Ok got -> check_bool "compact round-trips" true (got = j)
+  | Error e -> Alcotest.fail e);
+  match J.of_string (J.to_string_pretty j) with
+  | Ok got -> check_bool "pretty round-trips" true (got = j)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "wm_obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "interned" `Quick test_counter_interned;
+          Alcotest.test_case "negative raises" `Quick
+            test_counter_negative_raises;
+          Alcotest.test_case "set_max" `Quick test_set_max;
+        ] );
+      ( "timers",
+        [
+          Alcotest.test_case "nesting paths" `Quick test_span_nesting;
+          Alcotest.test_case "close without open" `Quick
+            test_span_close_without_open;
+          Alcotest.test_case "with_span exception-safe" `Quick
+            test_with_span_exception_safe;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "gauge sampled at snapshot" `Quick
+            test_gauge_sampled_at_snapshot;
+          Alcotest.test_case "to_json round-trip" `Quick
+            test_to_json_round_trip;
+          Alcotest.test_case "reset preserves handles" `Quick
+            test_reset_preserves_handles;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parser accepts" `Quick test_json_parse_accepts;
+          Alcotest.test_case "parser rejects" `Quick test_json_parse_rejects;
+          Alcotest.test_case "print/parse identity" `Quick
+            test_json_print_parse_identity;
+        ] );
+    ]
