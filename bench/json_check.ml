@@ -29,13 +29,61 @@ let () =
   | Some (J.Str "BENCH_v1") -> ()
   | Some j -> fail "%s: unexpected schema %s" path (J.to_string j)
   | None -> fail "%s: missing \"schema\" field" path);
+  (match J.member "jobs" json with
+  | Some (J.Int j) when j >= 1 -> ()
+  | Some j -> fail "%s: \"jobs\" must be a positive int, got %s" path (J.to_string j)
+  | None -> fail "%s: missing \"jobs\" field" path);
+  (* T7 (the self-measured speedup table) must carry jobs/wall-ms/speedup
+     columns, positive timings, and the determinism marker on each row. *)
+  let check_t7 i s =
+    match J.member "tables" s with
+    | Some (J.List (first :: _)) -> (
+        (match J.member "columns" first with
+        | Some (J.List cols) ->
+            let has name =
+              List.exists (fun c -> c = J.Str name) cols
+            in
+            if not (has "jobs" && has "wall-ms" && has "speedup") then
+              fail "%s: experiments[%d] (T7) lacks jobs/wall-ms/speedup columns"
+                path i
+        | _ -> fail "%s: experiments[%d] (T7) table lacks columns" path i);
+        match J.member "rows" first with
+        | Some (J.List (_ :: _ as rows)) ->
+            List.iteri
+              (fun r row ->
+                match row with
+                | J.List (J.Int jobs :: wall :: speedup :: rest) ->
+                    if jobs < 1 then
+                      fail "%s: T7 row %d: jobs %d < 1" path r jobs;
+                    let pos = function
+                      | J.Float f -> f > 0.0
+                      | J.Int n -> n > 0
+                      | _ -> false
+                    in
+                    if not (pos wall) then
+                      fail "%s: T7 row %d: non-positive wall-ms" path r;
+                    if not (pos speedup) then
+                      fail "%s: T7 row %d: non-positive speedup" path r;
+                    (match List.rev rest with
+                    | J.Str "yes" :: _ -> ()
+                    | _ ->
+                        fail
+                          "%s: T7 row %d: results not identical across jobs \
+                           (determinism regression)"
+                          path r)
+                | _ -> fail "%s: T7 row %d malformed" path r)
+              rows
+        | _ -> fail "%s: experiments[%d] (T7) has no rows" path i)
+    | _ -> fail "%s: experiments[%d] (T7) has no tables" path i
+  in
   (match J.member "experiments" json with
   | Some (J.List []) -> fail "%s: empty experiments list" path
   | Some (J.List sections) ->
       List.iteri
         (fun i s ->
           match (J.member "id" s, J.member "tables" s) with
-          | Some (J.Str _), Some (J.List _) -> ()
+          | Some (J.Str id), Some (J.List _) ->
+              if id = "T7" then check_t7 i s
           | _ -> fail "%s: experiments[%d] lacks id/tables" path i)
         sections
   | _ -> fail "%s: missing \"experiments\" list" path);

@@ -144,13 +144,14 @@ let section_to_json (s : Report.captured_section) =
       ("notes", J.List (List.map (fun n -> J.Str n) s.Report.notes));
     ]
 
-let write_report ~path ~quick ~seed ~sections ~micro =
+let write_report ~path ~quick ~seed ~jobs ~sections ~micro =
   let json =
     J.Obj
       [
         ("schema", J.Str "BENCH_v1");
         ("mode", J.Str (if quick then "quick" else "full"));
         ("seed", J.Int seed);
+        ("jobs", J.Int jobs);
         ("experiments", J.List (List.map section_to_json sections));
         ( "micro",
           J.List
@@ -175,6 +176,7 @@ let () =
   let seed = ref 42 in
   let micro = ref true in
   let json_path = ref "" in
+  let jobs = ref 0 in
   let args =
     [
       ("--full", Arg.Set full, "full-size experiments (slower)");
@@ -182,18 +184,30 @@ let () =
       ("--seed", Arg.Set_int seed, "base random seed (default 42)");
       ("--no-micro", Arg.Clear micro, "skip bechamel micro-benchmarks");
       ("--json", Arg.Set_string json_path, "write a BENCH_v1 JSON report to PATH");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "worker domains for the parallel substrate (default: \
+         recommended_domain_count, capped at 8; results are identical at \
+         any setting)" );
     ]
   in
   let usage =
-    "bench/main.exe [--full] [--only IDS] [--seed N] [--no-micro] [--json PATH]"
+    "bench/main.exe [--full] [--only IDS] [--seed N] [--no-micro] [--json \
+     PATH] [--jobs N]"
   in
   Arg.parse args
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     usage;
   let quick = not !full in
+  let jobs =
+    if !jobs <= 0 then Wm_par.Pool.recommended_jobs () else !jobs
+  in
+  Wm_par.Pool.set_default_jobs jobs;
   Printf.printf
     "Weighted Matchings via Unweighted Augmentations — experiment harness\n";
-  Printf.printf "mode: %s, seed: %d\n%!" (if quick then "quick" else "full") !seed;
+  Printf.printf "mode: %s, seed: %d, jobs: %d\n%!"
+    (if quick then "quick" else "full")
+    !seed jobs;
   if !json_path <> "" then Report.start_capture ();
   (if !only = "" then Wm_harness.Experiments.run_all ~quick ~seed:!seed
    else
@@ -204,5 +218,5 @@ let () =
             | None -> Printf.printf "unknown experiment id: %s\n" id));
   let micro_estimates = if !micro then micro_benchmarks () else [] in
   if !json_path <> "" then
-    write_report ~path:!json_path ~quick ~seed:!seed
+    write_report ~path:!json_path ~quick ~seed:!seed ~jobs
       ~sections:(Report.capture ()) ~micro:micro_estimates

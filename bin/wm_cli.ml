@@ -15,6 +15,13 @@ module ES = Wm_stream.Edge_stream
 (* ------------------------------------------------------------------ *)
 (* Instance construction *)
 
+(* Worker-domain count for the parallel substrate.  0 means "auto"
+   (recommended_domain_count, capped).  Results are identical at any
+   setting, so this is purely a throughput knob. *)
+let set_jobs jobs =
+  Wm_par.Pool.set_default_jobs
+    (if jobs <= 0 then Wm_par.Pool.recommended_jobs () else jobs)
+
 type family = Bip | Gnp | Cycles | Trap | Quintuples
 
 let family_conv =
@@ -181,7 +188,8 @@ let run_json ~g ~algo ~result =
     @ opt_fields
     @ [ ("obs", Wm_obs.Obs.to_json Wm_obs.Obs.default) ])
 
-let run_solve family n density weights seed algo epsilon input json =
+let run_solve family n density weights seed algo epsilon input jobs json =
+  set_jobs jobs;
   let g, result =
     execute ~verbose:true ~family ~n ~density ~weights ~seed ~algo ~epsilon
       ~input
@@ -206,7 +214,8 @@ let run_solve family n density weights seed algo epsilon input json =
       Printf.printf "wrote %s\n" path);
   0
 
-let run_stats family n density weights seed algo epsilon input =
+let run_stats family n density weights seed algo epsilon input jobs =
+  set_jobs jobs;
   let g, result =
     execute ~verbose:false ~family ~n ~density ~weights ~seed ~algo ~epsilon
       ~input
@@ -217,7 +226,8 @@ let run_stats family n density weights seed algo epsilon input =
 (* ------------------------------------------------------------------ *)
 (* Experiment commands *)
 
-let run_experiments ids quick seed =
+let run_experiments ids quick seed jobs =
+  set_jobs jobs;
   (match ids with
   | [] -> Wm_harness.Experiments.run_all ~quick ~seed
   | ids ->
@@ -262,6 +272,16 @@ let algo_t =
 let eps_t =
   Arg.(value & opt float 0.1 & info [ "epsilon" ] ~doc:"Target slack for (1-eps) algorithms.")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs" ]
+        ~doc:
+          "Worker domains for the parallel substrate (0 = auto: \
+           recommended_domain_count, capped at 8).  Results are identical \
+           at any setting.")
+
 let input_t =
   Arg.(
     value
@@ -280,7 +300,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Generate (or load) an instance and run one algorithm")
     Term.(
       const run_solve $ family_t $ n_t $ density_t $ weights_t $ seed_t
-      $ algo_t $ eps_t $ input_t $ json_t)
+      $ algo_t $ eps_t $ input_t $ jobs_t $ json_t)
 
 let stats_cmd =
   Cmd.v
@@ -289,7 +309,7 @@ let stats_cmd =
              (result, approximation ratio, obs counters) on stdout")
     Term.(
       const run_stats $ family_t $ n_t $ density_t $ weights_t $ seed_t
-      $ algo_t $ eps_t $ input_t)
+      $ algo_t $ eps_t $ input_t $ jobs_t)
 
 let experiment_cmd =
   let ids_t =
@@ -301,8 +321,8 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the paper's tables and figures")
     Term.(
-      const (fun ids full seed -> run_experiments ids (not full) seed)
-      $ ids_t $ full_t $ seed_t)
+      const (fun ids full seed jobs -> run_experiments ids (not full) seed jobs)
+      $ ids_t $ full_t $ seed_t $ jobs_t)
 
 let gen_cmd =
   let out_t =

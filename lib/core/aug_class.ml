@@ -128,12 +128,85 @@ let candidate_pairs params rng gp ~scale =
     take params.Params.tau_budget all
   end
 
+(* One pair's layered-graph evaluation, up to (but excluding) the
+   used-vertex filtering: build the layered graph, run the black box,
+   and project every augmenting path back to candidate components in
+   path order.  Reads [gp]/[m] only, so evaluations of different pairs
+   are independent and run through the domain pool. *)
+type pair_eval = {
+  pe_candidates : (Aug.t * int) list;  (* path-order (component, gain) *)
+  pe_layered_edges : int;
+  pe_black_box : bool;
+  pe_passes : int;
+  pe_paths : int;
+}
+
+let eval_pair params tp (gp : Layered.parametrized) m ~scale pair =
+  let lay = Layered.build tp gp pair ~scale in
+  let layered_edges = Layered.edge_count lay in
+  (* No between-layer edge survived the filter: nothing to find. *)
+  if layered_edges <= M.size lay.Layered.init then
+    {
+      pe_candidates = [];
+      pe_layered_edges = layered_edges;
+      pe_black_box = false;
+      pe_passes = 0;
+      pe_paths = 0;
+    }
+  else begin
+    let m', bb_passes =
+      Wm_algos.Approx_bipartite.solve_metered ~init:lay.Layered.init
+        ~delta:params.Params.delta lay.Layered.lgraph ~left:(Layered.left lay)
+    in
+    let paths = Layered.augmenting_paths lay m' in
+    let candidates =
+      List.filter_map
+        (fun layered_path ->
+          let verts, edges =
+            Decompose.project ~base_n:lay.Layered.base_n layered_path
+          in
+          match Decompose.decompose ~verts ~edges with
+          | [] -> None
+          | comps -> (
+              match Decompose.best_component comps m with
+              | Some (c, gain) when gain > 0 -> Some (c, gain)
+              | Some _ | None -> None))
+        paths
+    in
+    {
+      pe_candidates = candidates;
+      pe_layered_edges = layered_edges;
+      pe_black_box = true;
+      pe_passes = bb_passes;
+      pe_paths = List.length paths;
+    }
+  end
+
 let run params rng g m ~scale =
   let tp = Params.tau_params params in
   let gp = Layered.parametrize rng g m in
   let pairs = candidate_pairs params rng gp ~scale in
+  (* Phase 1 (parallel): evaluate every pair's layered graph.  The pool
+     preserves input order, and [eval_pair] draws no randomness, so the
+     result is independent of the jobs setting.  Inside Main_alg's own
+     per-scale fan-out this degrades to a sequential map (nested pool
+     calls fall back), and pair-level parallelism kicks in when a class
+     is run on its own. *)
+  let evals =
+    Wm_par.Pool.map (Wm_par.Pool.default ())
+      (fun pair -> eval_pair params tp gp m ~scale pair)
+      pairs
+  in
   let stats =
-    ref
+    List.fold_left
+      (fun s e ->
+        {
+          pairs_tried = s.pairs_tried + 1;
+          layered_edges = s.layered_edges + e.pe_layered_edges;
+          paths_found = s.paths_found + e.pe_paths;
+          black_box_calls = s.black_box_calls + (if e.pe_black_box then 1 else 0);
+          black_box_passes = Stdlib.max s.black_box_passes e.pe_passes;
+        })
       {
         pairs_tried = 0;
         layered_edges = 0;
@@ -141,66 +214,38 @@ let run params rng g m ~scale =
         black_box_calls = 0;
         black_box_passes = 0;
       }
+      evals
   in
-  (* With [combine_pairs], the used-vertex table persists across pairs
-     and every pair contributes; otherwise each pair builds its own set
-     and the best one wins (Algorithm 4 line 13, verbatim). *)
+  (* Phase 2 (sequential, pair order): used-vertex filtering.  With
+     [combine_pairs], the used-vertex table persists across pairs and
+     every pair contributes; otherwise each pair builds its own set and
+     the best one wins (Algorithm 4 line 13, verbatim). *)
   let combined_used = Hashtbl.create 64 in
   let combined = ref ([], 0) in
   let best = ref ([], 0) in
   List.iter
-    (fun pair ->
-      let lay = Layered.build tp gp pair ~scale in
-      stats :=
-        {
-          !stats with
-          pairs_tried = !stats.pairs_tried + 1;
-          layered_edges = !stats.layered_edges + Layered.edge_count lay;
-        };
-      (* No between-layer edge survived the filter: nothing to find. *)
-      if Layered.edge_count lay > M.size lay.Layered.init then begin
-        let m', bb_passes =
-          Wm_algos.Approx_bipartite.solve_metered ~init:lay.Layered.init
-            ~delta:params.Params.delta lay.Layered.lgraph ~left:(Layered.left lay)
-        in
-        stats :=
-          {
-            !stats with
-            black_box_calls = !stats.black_box_calls + 1;
-            black_box_passes = Stdlib.max !stats.black_box_passes bb_passes;
-          };
-        let paths = Layered.augmenting_paths lay m' in
-        stats := { !stats with paths_found = !stats.paths_found + List.length paths };
+    (fun e ->
+      if e.pe_black_box then begin
         let used =
           if params.Params.combine_pairs then combined_used else Hashtbl.create 64
         in
         let chosen = ref [] and gain_sum = ref 0 in
         List.iter
-          (fun layered_path ->
-            let verts, edges =
-              Decompose.project ~base_n:lay.Layered.base_n layered_path
+          (fun (c, gain) ->
+            let touched = Aug.touched_vertices c m in
+            let clear =
+              List.for_all (fun v -> not (Hashtbl.mem used v)) touched
             in
-            match Decompose.decompose ~verts ~edges with
-            | [] -> ()
-            | comps -> (
-                match Decompose.best_component comps m with
-                | Some (c, gain) when gain > 0 ->
-                    let touched = Aug.touched_vertices c m in
-                    let clear =
-                      List.for_all (fun v -> not (Hashtbl.mem used v)) touched
-                    in
-                    if clear && Aug.is_wellformed c && Aug.is_alternating c m
-                    then begin
-                      List.iter (fun v -> Hashtbl.replace used v ()) touched;
-                      chosen := c :: !chosen;
-                      gain_sum := !gain_sum + gain
-                    end
-                | Some _ | None -> ()))
-          paths;
+            if clear && Aug.is_wellformed c && Aug.is_alternating c m then begin
+              List.iter (fun v -> Hashtbl.replace used v ()) touched;
+              chosen := c :: !chosen;
+              gain_sum := !gain_sum + gain
+            end)
+          e.pe_candidates;
         if params.Params.combine_pairs then
           combined := (!chosen @ fst !combined, !gain_sum + snd !combined)
         else if !gain_sum > snd !best then best := (!chosen, !gain_sum)
       end)
-    pairs;
+    evals;
   let result = if params.Params.combine_pairs then !combined else !best in
-  (fst result, !stats)
+  (fst result, stats)

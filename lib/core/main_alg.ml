@@ -38,11 +38,23 @@ let improve_once params rng g m =
   Obs.span_open Obs.default "core.main_alg.round";
   Obs.incr c_rounds;
   let scales = scales_for params g in
-  (* Collect augmentations per scale against the round-start matching;
-     the k = 1 class (single-edge augmentations) is solved exactly and
-     swept first, as a pseudo-class of infinite scale. *)
+  (* Collect augmentations per scale against the round-start matching —
+     Algorithm 3 runs the classes "in parallel", and they only read [g]
+     and the round-start [m], so they fan out across the domain pool.
+     Each class gets its own generator, split off the caller's stream in
+     scale order *before* any class runs: the per-class random streams
+     (and hence the results) are identical whether the classes then
+     execute sequentially or on any number of domains.  The k = 1 class
+     (single-edge augmentations) is solved exactly and swept first, as a
+     pseudo-class of infinite scale. *)
+  let tasks =
+    List.map (fun scale -> (scale, Wm_graph.Prng.split rng)) scales
+  in
   let per_scale =
-    List.map (fun scale -> (scale, Aug_class.run params rng g m ~scale)) scales
+    Wm_par.Pool.map (Wm_par.Pool.default ())
+      (fun (scale, class_rng) ->
+        (scale, Aug_class.run params class_rng g m ~scale))
+      tasks
   in
   let one_augs = Aug_class.one_augmentations g m in
   (* Greedy cross-class selection, heaviest scale first (lines 5-8). *)

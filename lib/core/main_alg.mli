@@ -2,11 +2,15 @@
     and 1.2).
 
     One improvement round sweeps every augmentation-class scale
-    [W = ratio^i] (in parallel in the models; sequentially here), then
-    greedily applies non-conflicting augmentations from the heaviest
-    class down.  Repeating the round [O_eps(1)] times from the empty
-    matching converges to a [(1 - eps)]-approximate maximum weighted
-    matching in expectation. *)
+    [W = ratio^i] — in parallel, across the [Wm_par.Pool] default pool,
+    exactly as Algorithm 3 runs the classes against the round-start
+    matching — then greedily applies non-conflicting augmentations from
+    the heaviest class down (that cross-class selection stays
+    sequential).  Each class draws from its own generator split off the
+    caller's [Prng] in scale order before any class runs, so results
+    are byte-identical for every jobs setting.  Repeating the round
+    [O_eps(1)] times from the empty matching converges to a
+    [(1 - eps)]-approximate maximum weighted matching in expectation. *)
 
 type round_stats = {
   scales_tried : int;

@@ -1,7 +1,14 @@
+(* CSR (compressed sparse row) adjacency: [off] has length [n + 1];
+   vertex [v]'s incident edges occupy slots [off.(v) .. off.(v+1) - 1]
+   of the packed [nbr] (other endpoint) and [eix] (index into [edges])
+   arrays.  Built eagerly at construction, so a graph value is immutable
+   after [of_array] returns and can be shared freely across domains. *)
 type t = {
   n : int;
   edges : Edge.t array;
-  mutable adj : (int * Edge.t) list array option; (* built on first use *)
+  off : int array;
+  nbr : int array;
+  eix : int array;
 }
 
 let validate n edges =
@@ -9,7 +16,9 @@ let validate n edges =
   Array.iter
     (fun e ->
       let u, v = Edge.endpoints e in
-      if u < 0 || v >= n then
+      (* [Edge.make] normalises u < v, but check all four bounds
+         explicitly rather than rely on that invariant. *)
+      if u < 0 || u >= n || v < 0 || v >= n then
         invalid_arg
           (Printf.sprintf "Weighted_graph: edge %s out of range [0,%d)"
              (Edge.to_string e) n);
@@ -19,11 +28,44 @@ let validate n edges =
       Hashtbl.add seen (u, v) ())
     edges
 
+(* Counting sort into CSR; per-vertex slices come out in edge order. *)
+let index ~n edges =
+  let off = Array.make (n + 1) 0 in
+  Array.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      off.(u + 1) <- off.(u + 1) + 1;
+      off.(v + 1) <- off.(v + 1) + 1)
+    edges;
+  for v = 1 to n do
+    off.(v) <- off.(v) + off.(v - 1)
+  done;
+  let total = 2 * Array.length edges in
+  let nbr = Array.make total 0 and eix = Array.make total 0 in
+  let cursor = Array.sub off 0 n in
+  Array.iteri
+    (fun i e ->
+      let u, v = Edge.endpoints e in
+      nbr.(cursor.(u)) <- v;
+      eix.(cursor.(u)) <- i;
+      cursor.(u) <- cursor.(u) + 1;
+      nbr.(cursor.(v)) <- u;
+      eix.(cursor.(v)) <- i;
+      cursor.(v) <- cursor.(v) + 1)
+    edges;
+  (off, nbr, eix)
+
+(* Internal constructor for edge arrays already known to be in range and
+   parallel-edge-free (owned, not aliased by the caller). *)
+let unsafe_of_owned_array ~n ~edges =
+  let off, nbr, eix = index ~n edges in
+  { n; edges; off; nbr; eix }
+
 let of_array ~n edges =
   if n < 0 then invalid_arg "Weighted_graph: negative n";
   let edges = Array.copy edges in
   validate n edges;
-  { n; edges; adj = None }
+  unsafe_of_owned_array ~n ~edges
 
 let create ~n edges = of_array ~n (Array.of_list edges)
 
@@ -36,32 +78,39 @@ let edge_list g = Array.to_list g.edges
 let iter_edges f g = Array.iter f g.edges
 let fold_edges f init g = Array.fold_left f init g.edges
 
-let adjacency g =
-  match g.adj with
-  | Some a -> a
-  | None ->
-      let a = Array.make g.n [] in
-      Array.iter
-        (fun e ->
-          let u, v = Edge.endpoints e in
-          a.(u) <- (v, e) :: a.(u);
-          a.(v) <- (u, e) :: a.(v))
-        g.edges;
-      g.adj <- Some a;
-      a
+let degree g v = g.off.(v + 1) - g.off.(v)
 
-let neighbors g v = (adjacency g).(v)
+let neighbors g v =
+  let acc = ref [] in
+  for i = g.off.(v + 1) - 1 downto g.off.(v) do
+    acc := (g.nbr.(i), g.edges.(g.eix.(i))) :: !acc
+  done;
+  !acc
 
-let iter_neighbors g v f = List.iter (fun (u, e) -> f u e) (adjacency g).(v)
+let iter_neighbors g v f =
+  for i = g.off.(v) to g.off.(v + 1) - 1 do
+    f g.nbr.(i) g.edges.(g.eix.(i))
+  done
 
-let degree g v = List.length (adjacency g).(v)
+let fold_neighbors g v f init =
+  let acc = ref init in
+  for i = g.off.(v) to g.off.(v + 1) - 1 do
+    acc := f !acc g.nbr.(i) g.edges.(g.eix.(i))
+  done;
+  !acc
 
 let find_edge g u v =
   if u < 0 || u >= g.n || v < 0 || v >= g.n then None
-  else
-    List.find_map
-      (fun (x, e) -> if x = v then Some e else None)
-      (adjacency g).(u)
+  else begin
+    (* Scan the smaller of the two incidence slices. *)
+    let u, v = if degree g u <= degree g v then (u, v) else (v, u) in
+    let rec scan i =
+      if i >= g.off.(u + 1) then None
+      else if g.nbr.(i) = v then Some g.edges.(g.eix.(i))
+      else scan (i + 1)
+    in
+    scan g.off.(u)
+  end
 
 let mem_edge g u v = Option.is_some (find_edge g u v)
 
@@ -69,11 +118,16 @@ let total_weight g = Array.fold_left (fun acc e -> acc + Edge.weight e) 0 g.edge
 
 let max_weight g = Array.fold_left (fun acc e -> Stdlib.max acc (Edge.weight e)) 0 g.edges
 
+(* [subgraph] and [map_weights] cannot introduce out-of-range vertices
+   or parallel edges (they filter / reweight a validated edge set), so
+   they skip the Hashtbl re-validation pass of [of_array]. *)
 let subgraph g keep =
-  { n = g.n; edges = Array.of_seq (Seq.filter keep (Array.to_seq g.edges)); adj = None }
+  unsafe_of_owned_array ~n:g.n
+    ~edges:(Array.of_seq (Seq.filter keep (Array.to_seq g.edges)))
 
 let map_weights g f =
-  { n = g.n; edges = Array.map (fun e -> Edge.reweight e (f e)) g.edges; adj = None }
+  unsafe_of_owned_array ~n:g.n
+    ~edges:(Array.map (fun e -> Edge.reweight e (f e)) g.edges)
 
 let is_bipartition g ~left =
   Array.for_all

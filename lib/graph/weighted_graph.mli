@@ -1,9 +1,13 @@
 (** Weighted undirected graphs on vertices [0 .. n-1].
 
-    The representation stores the edge list plus a lazily-built adjacency
-    index; both the streaming algorithms (which consume edge lists in a
-    given order) and the offline solvers (which need neighbourhood
-    queries) are served without duplication. *)
+    The representation stores the edge list plus a CSR (compressed
+    sparse row) adjacency index — int-array offsets plus packed
+    neighbour / edge-index arrays — built eagerly at construction; both
+    the streaming algorithms (which consume edge lists in a given order)
+    and the offline solvers (which need neighbourhood queries) are
+    served without duplication.  [degree] is O(1) and [iter_neighbors]
+    walks a contiguous slice.  Values are immutable once constructed,
+    so a graph can be read concurrently from any number of domains. *)
 
 type t
 
@@ -34,11 +38,17 @@ val iter_edges : (Edge.t -> unit) -> t -> unit
 val fold_edges : ('a -> Edge.t -> 'a) -> 'a -> t -> 'a
 
 val neighbors : t -> int -> (int * Edge.t) list
-(** [neighbors g v] lists [(u, e)] for every edge [e] joining [v] to [u]. *)
+(** [neighbors g v] lists [(u, e)] for every edge [e] joining [v] to
+    [u], in edge-array order.  Allocates; prefer {!iter_neighbors} or
+    {!fold_neighbors} on hot paths. *)
 
 val iter_neighbors : t -> int -> (int -> Edge.t -> unit) -> unit
+(** Allocation-free iteration over a contiguous CSR slice. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> Edge.t -> 'a) -> 'a -> 'a
 
 val degree : t -> int -> int
+(** O(1): an offset subtraction. *)
 
 val find_edge : t -> int -> int -> Edge.t option
 (** [find_edge g u v] is the edge joining [u] and [v], if present. *)
@@ -52,10 +62,12 @@ val max_weight : t -> int
 
 val subgraph : t -> (Edge.t -> bool) -> t
 (** [subgraph g keep] has the same vertex set and the edges satisfying
-    [keep]. *)
+    [keep].  Skips re-validation: filtering a valid edge set cannot
+    introduce range or parallel-edge violations. *)
 
 val map_weights : t -> (Edge.t -> int) -> t
-(** Reweight every edge. *)
+(** Reweight every edge.  Skips re-validation (endpoints unchanged);
+    negative weights are still rejected by [Edge.reweight]. *)
 
 val is_bipartition : t -> left:(int -> bool) -> bool
 (** [is_bipartition g ~left] checks that every edge joins a [left] vertex

@@ -13,7 +13,10 @@ type experiment = {
 }
 
 val all : experiment list
-(** In DESIGN.md order: T1–T5, F1–F6, A1, A2. *)
+(** In DESIGN.md order: T1–T7, F1–F6, A1, A2.  T7 is the self-measured
+    parallel-speedup table: it re-solves a fixed T3-style workload at
+    jobs ∈ {1, 2, 4, 8} via [Wm_par.Pool.set_default_jobs] and checks
+    the results are identical at every setting. *)
 
 val find : string -> experiment option
 (** Case-insensitive lookup by id. *)

@@ -1,6 +1,6 @@
-type counter = { mutable value : int }
+type counter = int Atomic.t
 
-type timer = { mutable total_ns : int; mutable count : int }
+type timer = { total_ns : int Atomic.t; count : int Atomic.t }
 
 type open_span = { path : string; start_ns : int }
 
@@ -8,7 +8,12 @@ type t = {
   counters : (string, counter) Hashtbl.t;
   timers : (string, timer) Hashtbl.t;
   gauges : (string, unit -> int) Hashtbl.t;
-  mutable open_spans : open_span list;
+  lock : Mutex.t; (* guards table structure; cell updates are atomic *)
+  spans : open_span list ref Domain.DLS.key;
+      (* per-domain open-span stack: spans opened on a domain must be
+         closed on the same domain, so nesting paths never interleave
+         across domains; closed durations land in the shared atomic
+         [timers] table, which is the merge-on-snapshot *)
 }
 
 let create () =
@@ -16,33 +21,46 @@ let create () =
     counters = Hashtbl.create 64;
     timers = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
-    open_spans = [];
+    lock = Mutex.create ();
+    spans = Domain.DLS.new_key (fun () -> ref []);
   }
 
 let default = create ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* ------------------------------------------------------------------ *)
 (* Counters *)
 
 let counter t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some c -> c
-  | None ->
-      let c = { value = 0 } in
-      Hashtbl.add t.counters name c;
-      c
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c -> c
+      | None ->
+          let c = Atomic.make 0 in
+          Hashtbl.add t.counters name c;
+          c)
 
-let incr c = c.value <- c.value + 1
+let incr c = ignore (Atomic.fetch_and_add c 1)
 
 let add c k =
   if k < 0 then invalid_arg "Obs.add: counters are monotone";
-  c.value <- c.value + k
+  ignore (Atomic.fetch_and_add c k)
 
-let set_max c v = if v > c.value then c.value <- v
-let value c = c.value
+(* CAS loop: a plain read-compare-write would drop concurrent raises. *)
+let rec set_max c v =
+  let cur = Atomic.get c in
+  if v > cur && not (Atomic.compare_and_set c cur v) then set_max c v
+
+let value c = Atomic.get c
 
 let counter_value t name =
-  match Hashtbl.find_opt t.counters name with Some c -> c.value | None -> 0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c -> Atomic.get c
+      | None -> 0)
 
 (* ------------------------------------------------------------------ *)
 (* Timers *)
@@ -50,29 +68,36 @@ let counter_value t name =
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
 let span_open t name =
+  let stack = Domain.DLS.get t.spans in
   let path =
-    match t.open_spans with
+    match !stack with
     | [] -> name
     | outer :: _ -> outer.path ^ "/" ^ name
   in
-  t.open_spans <- { path; start_ns = now_ns () } :: t.open_spans
+  stack := { path; start_ns = now_ns () } :: !stack
+
+let timer_cell t path =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.timers path with
+      | Some tm -> tm
+      | None ->
+          let tm = { total_ns = Atomic.make 0; count = Atomic.make 0 } in
+          Hashtbl.add t.timers path tm;
+          tm)
 
 let span_close t =
-  match t.open_spans with
-  | [] -> invalid_arg "Obs.span_close: no open span"
+  let stack = Domain.DLS.get t.spans in
+  match !stack with
+  | [] ->
+      invalid_arg
+        "Obs.span_close: no open span on this domain (span_open/span_close \
+         must balance within each domain)"
   | { path; start_ns } :: rest ->
-      t.open_spans <- rest;
+      stack := rest;
       let elapsed = Stdlib.max 0 (now_ns () - start_ns) in
-      let timer =
-        match Hashtbl.find_opt t.timers path with
-        | Some tm -> tm
-        | None ->
-            let tm = { total_ns = 0; count = 0 } in
-            Hashtbl.add t.timers path tm;
-            tm
-      in
-      timer.total_ns <- timer.total_ns + elapsed;
-      timer.count <- timer.count + 1
+      let tm = timer_cell t path in
+      ignore (Atomic.fetch_and_add tm.total_ns elapsed);
+      ignore (Atomic.fetch_and_add tm.count 1)
 
 let with_span t name f =
   span_open t name;
@@ -85,15 +110,21 @@ let with_span t name f =
       raise exn
 
 let span_total_ns t path =
-  match Hashtbl.find_opt t.timers path with Some tm -> tm.total_ns | None -> 0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.timers path with
+      | Some tm -> Atomic.get tm.total_ns
+      | None -> 0)
 
 let span_count t path =
-  match Hashtbl.find_opt t.timers path with Some tm -> tm.count | None -> 0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.timers path with
+      | Some tm -> Atomic.get tm.count
+      | None -> 0)
 
 (* ------------------------------------------------------------------ *)
 (* Gauges *)
 
-let gauge t name read = Hashtbl.replace t.gauges name read
+let gauge t name read = locked t (fun () -> Hashtbl.replace t.gauges name read)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots *)
@@ -103,29 +134,45 @@ let sorted_bindings tbl =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let to_json t =
-  let counters =
-    List.map (fun (k, c) -> (k, Json.Int c.value)) (sorted_bindings t.counters)
-  in
-  let timers =
-    List.map
-      (fun (k, tm) ->
-        (k, Json.Obj [ ("total_ns", Json.Int tm.total_ns); ("count", Json.Int tm.count) ]))
-      (sorted_bindings t.timers)
-  in
-  let gauges =
-    List.map (fun (k, read) -> (k, Json.Int (read ()))) (sorted_bindings t.gauges)
-  in
-  Json.Obj
-    [ ("counters", Json.Obj counters); ("timers", Json.Obj timers);
-      ("gauges", Json.Obj gauges) ]
+  locked t (fun () ->
+      let counters =
+        List.map
+          (fun (k, c) -> (k, Json.Int (Atomic.get c)))
+          (sorted_bindings t.counters)
+      in
+      let timers =
+        List.map
+          (fun (k, tm) ->
+            ( k,
+              Json.Obj
+                [
+                  ("total_ns", Json.Int (Atomic.get tm.total_ns));
+                  ("count", Json.Int (Atomic.get tm.count));
+                ] ))
+          (sorted_bindings t.timers)
+      in
+      let gauges =
+        List.map
+          (fun (k, read) -> (k, Json.Int (read ())))
+          (sorted_bindings t.gauges)
+      in
+      Json.Obj
+        [
+          ("counters", Json.Obj counters);
+          ("timers", Json.Obj timers);
+          ("gauges", Json.Obj gauges);
+        ])
 
 let reset t =
-  (* Zero in place: modules intern counter handles at init time, so the
-     handles must survive a reset. *)
-  Hashtbl.iter (fun _ c -> c.value <- 0) t.counters;
-  Hashtbl.iter
-    (fun _ tm ->
-      tm.total_ns <- 0;
-      tm.count <- 0)
-    t.timers;
-  t.open_spans <- []
+  locked t (fun () ->
+      (* Zero in place: modules intern counter handles at init time, so
+         the handles must survive a reset. *)
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) t.counters;
+      Hashtbl.iter
+        (fun _ tm ->
+          Atomic.set tm.total_ns 0;
+          Atomic.set tm.count 0)
+        t.timers);
+  (* Only the calling domain's span stack is reachable; other domains
+     drop theirs when their own spans unwind. *)
+  Domain.DLS.get t.spans := []

@@ -15,7 +15,17 @@
     registry the library instruments itself against, so that callers get
     observability without threading a handle through every API.  The
     whole registry serialises to {!Json.t} with no dependencies beyond
-    [unix] (for {!now_ns}). *)
+    [unix] (for {!now_ns}).
+
+    {b Domain safety.}  Registries are safe to use from multiple
+    domains concurrently: counters and timer accumulators are atomics
+    ({!set_max} is a CAS loop, so concurrent high-water raises are never
+    lost), instrument interning and gauge registration are
+    mutex-protected, and the open-span stack is {e per-domain}
+    ([Domain.DLS]) — a span opened on a domain must be closed on the
+    same domain, nesting paths are domain-local, and closed durations
+    merge into the shared timer table at {!span_close} time, so
+    {!to_json} snapshots see every domain's finished spans. *)
 
 type t
 (** A registry. *)
@@ -44,7 +54,8 @@ val add : counter -> int -> unit
 
 val set_max : counter -> int -> unit
 (** [set_max c v] raises [c] to [v] if [v] is larger (high-water-mark
-    counters stay monotone). *)
+    counters stay monotone).  Implemented as a compare-and-swap loop so
+    racing raises from several domains keep the true maximum. *)
 
 val value : counter -> int
 
@@ -58,11 +69,13 @@ val now_ns : unit -> int
 (** Wall-clock nanoseconds since the epoch (microsecond-granular). *)
 
 val span_open : t -> string -> unit
-(** Open a phase span.  Nested opens record under ["outer/inner"]. *)
+(** Open a phase span on the calling domain.  Nested opens record under
+    ["outer/inner"]; the nesting stack is per-domain. *)
 
 val span_close : t -> unit
-(** Close the innermost open span, accumulating its wall-clock duration.
-    Raises [Invalid_argument] when no span is open. *)
+(** Close the innermost span opened on the calling domain, accumulating
+    its wall-clock duration.  Raises [Invalid_argument] when the calling
+    domain has no open span. *)
 
 val with_span : t -> string -> (unit -> 'a) -> 'a
 (** [with_span reg name f] runs [f] inside a span, closing it even when
@@ -89,5 +102,6 @@ val to_json : t -> Json.t
     not included until closed. *)
 
 val reset : t -> unit
-(** Zero all counters and timers and drop open spans.  Gauge
-    registrations survive (their backing state is caller-owned). *)
+(** Zero all counters and timers and drop the calling domain's open
+    spans.  Gauge registrations survive (their backing state is
+    caller-owned). *)

@@ -45,6 +45,34 @@ let test_set_max () =
   Obs.set_max c 11;
   check "raises to larger" 11 (Obs.value c)
 
+(* The CAS loop must never lose a concurrent raise: four domains racing
+   interleaved raises still leave the true maximum behind. *)
+let test_set_max_concurrent () =
+  let reg = Obs.create () in
+  let c = Obs.counter reg "hwm.par" in
+  let per_domain = 20_000 in
+  let hammer d () =
+    for i = 1 to per_domain do
+      Obs.set_max c ((i * 4) + d)
+    done
+  in
+  let workers = List.init 4 (fun d -> Domain.spawn (hammer d)) in
+  List.iter Domain.join workers;
+  check "true maximum survives the race" ((per_domain * 4) + 3) (Obs.value c)
+
+let test_counters_concurrent () =
+  let reg = Obs.create () in
+  let c = Obs.counter reg "cnt.par" in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Obs.incr c
+            done))
+  in
+  List.iter Domain.join workers;
+  check "no lost increments" 40_000 (Obs.value c)
+
 (* ------------------------------------------------------------------ *)
 (* Timers *)
 
@@ -62,8 +90,14 @@ let test_span_nesting () =
 let test_span_close_without_open () =
   let reg = Obs.create () in
   Alcotest.check_raises "close on empty"
-    (Invalid_argument "Obs.span_close: no open span") (fun () ->
-      Obs.span_close reg)
+    (Invalid_argument
+       "Obs.span_close: no open span on this domain (span_open/span_close \
+        must balance within each domain)") (fun () -> Obs.span_close reg);
+  (* Still descriptive after a balanced open/close pair. *)
+  Obs.with_span reg "once" (fun () -> ());
+  match Obs.span_close reg with
+  | () -> Alcotest.fail "second close should raise"
+  | exception Invalid_argument _ -> ()
 
 let test_with_span_exception_safe () =
   let reg = Obs.create () in
@@ -174,6 +208,10 @@ let () =
           Alcotest.test_case "negative raises" `Quick
             test_counter_negative_raises;
           Alcotest.test_case "set_max" `Quick test_set_max;
+          Alcotest.test_case "set_max concurrent CAS" `Quick
+            test_set_max_concurrent;
+          Alcotest.test_case "counters concurrent" `Quick
+            test_counters_concurrent;
         ] );
       ( "timers",
         [

@@ -1,0 +1,232 @@
+(* Tests for the wm_par domain pool and the guarantees the rest of the
+   codebase builds on it:
+
+   - [Pool.map] / [Pool.parallel_map_array] return results in input
+     order and agree with their sequential counterparts;
+   - nested pool calls degrade to sequential instead of deadlocking;
+   - a raising task poisons only its call and leaves the pool usable;
+   - the CSR [Weighted_graph] is safe to read from many domains at once
+     (regression for the old lazy-adjacency data race);
+   - [Main_alg.solve] is byte-identical at jobs=1 and jobs=4 on the
+     T1/T3/F6-style workloads.                                          *)
+
+module Pool = Wm_par.Pool
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+module P = Wm_graph.Prng
+module B = Wm_graph.Bipartition
+module Gen = Wm_graph.Gen
+module E = Wm_graph.Edge
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_pool ~domains f =
+  let pool = Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Pool.destroy pool) (fun () -> f pool)
+
+(* ------------------------------------------------------------------ *)
+(* Pool semantics *)
+
+let test_map_matches_sequential () =
+  with_pool ~domains:4 (fun pool ->
+      let xs = List.init 1_000 (fun i -> i) in
+      let f x = (x * x) - (3 * x) in
+      check_bool "map agrees with List.map in order" true
+        (Pool.map pool f xs = List.map f xs);
+      check_bool "empty list" true (Pool.map pool f [] = []);
+      check_bool "singleton" true (Pool.map pool f [ 41 ] = [ f 41 ]);
+      let arr = Array.init 257 (fun i -> i * 7) in
+      check_bool "array agrees with Array.map" true
+        (Pool.parallel_map_array pool f arr = Array.map f arr))
+
+let test_size_and_inline_pool () =
+  with_pool ~domains:4 (fun pool -> check "size 4" 4 (Pool.size pool));
+  with_pool ~domains:1 (fun pool ->
+      check "size clamps to 1" 1 (Pool.size pool);
+      check_bool "inline pool still maps" true
+        (Pool.map pool succ [ 1; 2; 3 ] = [ 2; 3; 4 ]))
+
+let test_nested_map_falls_back () =
+  with_pool ~domains:4 (fun pool ->
+      check_bool "not inside a task at top level" false (Pool.inside_task ());
+      let rows =
+        Pool.map pool
+          (fun i ->
+            (* A nested call from inside a task must run inline. *)
+            let inner = Pool.map pool (fun j -> (i * 10) + j) [ 0; 1; 2 ] in
+            check_bool "inside_task inside a task" true (Pool.inside_task ());
+            inner)
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+      in
+      let want = List.init 8 (fun k ->
+          let i = k + 1 in
+          [ (i * 10); (i * 10) + 1; (i * 10) + 2 ])
+      in
+      check_bool "nested results correct and ordered" true (rows = want))
+
+exception Boom of int
+
+let test_exception_poisons_call_only () =
+  with_pool ~domains:4 (fun pool ->
+      (match
+         Pool.map pool
+           (fun x -> if x = 37 then raise (Boom x) else x)
+           (List.init 100 (fun i -> i))
+       with
+      | _ -> Alcotest.fail "raising task should poison the call"
+      | exception Boom 37 -> ()
+      | exception Boom _ -> Alcotest.fail "wrong task's exception");
+      (* The pool survives a poisoned call. *)
+      check_bool "pool reusable after exception" true
+        (Pool.map pool succ [ 10; 20 ] = [ 11; 21 ]))
+
+let test_default_pool_resize () =
+  let saved = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      Pool.set_default_jobs 3;
+      check "configured jobs" 3 (Pool.default_jobs ());
+      check "default pool size" 3 (Pool.size (Pool.default ()));
+      check_bool "default pool maps" true
+        (Pool.map (Pool.default ()) succ [ 5; 6 ] = [ 6; 7 ]);
+      Pool.set_default_jobs 1;
+      check "resized down" 1 (Pool.size (Pool.default ())))
+
+(* ------------------------------------------------------------------ *)
+(* CSR graph: concurrent readers (regression for the lazy-adjacency
+   data race fixed by the eager CSR rewrite). *)
+
+let graph_checksum g =
+  let acc = ref 0 in
+  for v = 0 to G.n g - 1 do
+    acc := !acc + (G.degree g v * (v + 1));
+    G.iter_neighbors g v (fun u e -> acc := !acc + u + E.weight e);
+    List.iter
+      (fun (u, e) ->
+        match G.find_edge g v u with
+        | Some e' -> if E.weight e' <> E.weight e then acc := !acc - 1_000_000
+        | None -> acc := !acc - 1_000_000)
+      (G.neighbors g v)
+  done;
+  !acc
+
+let test_concurrent_graph_reads () =
+  let rng = P.create 99 in
+  let g = Gen.gnp rng ~n:150 ~p:0.08 ~weights:(Gen.Uniform (1, 50)) in
+  let reference = graph_checksum g in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let ok = ref true in
+            for _ = 1 to 25 do
+              if graph_checksum g <> reference then ok := false
+            done;
+            !ok))
+  in
+  List.iter
+    (fun d -> check_bool "domain saw a consistent graph" true (Domain.join d))
+    workers
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: solve at jobs=1 and jobs=4 must agree exactly. *)
+
+let t1_workload seed =
+  let n = 80 in
+  let rng = P.create (seed + 1) in
+  Gen.random_bipartite rng ~left:(n / 2) ~right:(n / 2)
+    ~p:(16.0 /. float_of_int n)
+    ~weights:(Gen.Uniform (1, 50))
+
+let t3_workload seed =
+  let rng = P.create (seed + 2) in
+  Gen.gnp rng ~n:80 ~p:0.1 ~weights:(Gen.Uniform (1, 50))
+
+let f6_workload seed =
+  let n = 100 in
+  let rng = P.create (seed + 21) in
+  Gen.random_bipartite rng ~left:(n / 2) ~right:(n / 2)
+    ~p:(16.0 /. float_of_int n)
+    ~weights:(Gen.Uniform (1, 50))
+
+let solve_trace params seed g =
+  let m, stats = Wm_core.Main_alg.solve ~patience:2 params (P.create seed) g in
+  let gains =
+    List.map (fun r -> r.Wm_core.Main_alg.gain) stats.Wm_core.Main_alg.rounds
+  in
+  (m, gains)
+
+let check_deterministic name make_graph =
+  let params = Wm_core.Params.practical ~epsilon:0.15 () in
+  let seed = 4242 in
+  let g = make_graph seed in
+  let saved = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      Pool.set_default_jobs 1;
+      let m1, gains1 = solve_trace params seed g in
+      Pool.set_default_jobs 4;
+      let m4, gains4 = solve_trace params seed g in
+      check_bool (name ^ ": matchings identical") true (M.equal m1 m4);
+      check (name ^ ": same weight") (M.weight m1) (M.weight m4);
+      check_bool (name ^ ": same per-round gains") true (gains1 = gains4))
+
+let test_determinism_t1 () = check_deterministic "T1" t1_workload
+let test_determinism_t3 () = check_deterministic "T3" t3_workload
+let test_determinism_f6 () = check_deterministic "F6" f6_workload
+
+(* Per-seed experiment sweeps go through the same pool; a quick sanity
+   check that parallel seed mapping preserves order. *)
+let test_seed_sweep_order () =
+  let saved = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      Pool.set_default_jobs 4;
+      let seeds = List.init 12 (fun i -> 100 + i) in
+      let f s =
+        let g = t3_workload s in
+        M.weight (fst (solve_trace (Wm_core.Params.practical ~epsilon:0.2 ()) s g))
+      in
+      let par = Pool.map (Pool.default ()) f seeds in
+      Pool.set_default_jobs 1;
+      let seq = List.map f seeds in
+      check_bool "per-seed results order-stable" true (par = seq))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  ignore B.halves;
+  Alcotest.run "wm_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick
+            test_map_matches_sequential;
+          Alcotest.test_case "size and inline pool" `Quick
+            test_size_and_inline_pool;
+          Alcotest.test_case "nested map falls back" `Quick
+            test_nested_map_falls_back;
+          Alcotest.test_case "exception poisons call only" `Quick
+            test_exception_poisons_call_only;
+          Alcotest.test_case "default pool resize" `Quick
+            test_default_pool_resize;
+        ] );
+      ( "csr-graph",
+        [
+          Alcotest.test_case "concurrent readers" `Quick
+            test_concurrent_graph_reads;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "T1 workload jobs=1 vs 4" `Slow
+            test_determinism_t1;
+          Alcotest.test_case "T3 workload jobs=1 vs 4" `Slow
+            test_determinism_t3;
+          Alcotest.test_case "F6 workload jobs=1 vs 4" `Slow
+            test_determinism_f6;
+          Alcotest.test_case "seed sweep order" `Slow test_seed_sweep_order;
+        ] );
+    ]
