@@ -93,4 +93,84 @@ let () =
       | Some (J.Obj _) -> ()
       | _ -> fail "%s: obs snapshot lacks \"counters\"" path)
   | None -> fail "%s: missing \"obs\" snapshot" path);
+  (* Histograms: non-empty, and each entry structurally sound (count
+     matches the bucket-count sum, percentiles ordered). *)
+  let check_histogram name h =
+    let get k =
+      match J.member k h with
+      | Some (J.Int n) -> n
+      | _ -> fail "%s: histogram %s lacks int %S" path name k
+    in
+    let getf k =
+      match J.member k h with
+      | Some (J.Float f) -> f
+      | Some (J.Int n) -> float_of_int n
+      | _ -> fail "%s: histogram %s lacks number %S" path name k
+    in
+    let count = get "count" in
+    if count < 0 then fail "%s: histogram %s: negative count" path name;
+    (match J.member "buckets" h with
+    | Some (J.List buckets) ->
+        let total =
+          List.fold_left
+            (fun acc b ->
+              match b with
+              | J.List [ J.Int lo; J.Int c ] ->
+                  if lo < 0 || c <= 0 then
+                    fail "%s: histogram %s: malformed bucket" path name;
+                  acc + c
+              | _ -> fail "%s: histogram %s: malformed bucket" path name)
+            0 buckets
+        in
+        if total <> count then
+          fail "%s: histogram %s: bucket sum %d <> count %d" path name total
+            count
+    | _ -> fail "%s: histogram %s lacks \"buckets\"" path name);
+    if count > 0 then begin
+      let p50 = getf "p50" and p90 = getf "p90" and p99 = getf "p99" in
+      if not (p50 <= p90 && p90 <= p99) then
+        fail "%s: histogram %s: percentiles out of order" path name
+    end
+  in
+  (match J.member "histograms" json with
+  | Some (J.Obj []) -> fail "%s: empty \"histograms\" section" path
+  | Some (J.Obj hists) -> List.iter (fun (n, h) -> check_histogram n h) hists
+  | _ -> fail "%s: missing \"histograms\" section" path);
+  (* Ledger: non-empty, every section a list of rows with int fields. *)
+  (match J.member "ledger" json with
+  | Some (J.Obj []) -> fail "%s: empty \"ledger\" section" path
+  | Some (J.Obj sections) ->
+      List.iter
+        (fun (name, rows) ->
+          match rows with
+          | J.List rows ->
+              List.iter
+                (fun row ->
+                  match row with
+                  | J.Obj fields ->
+                      List.iter
+                        (fun (k, v) ->
+                          match (k, v) with
+                          | "label", J.Str _ -> ()
+                          | _, J.Int _ -> ()
+                          | _ ->
+                              fail
+                                "%s: ledger %s: field %S is not an int"
+                                path name k)
+                        fields
+                  | _ -> fail "%s: ledger %s: row is not an object" path name)
+                rows
+          | _ -> fail "%s: ledger section %s is not a list" path name)
+        sections
+  | _ -> fail "%s: missing \"ledger\" section" path);
+  (* Trace metadata: present even when tracing was off. *)
+  (match J.member "trace_meta" json with
+  | Some meta -> (
+      (match J.member "enabled" meta with
+      | Some (J.Bool _) -> ()
+      | _ -> fail "%s: trace_meta lacks \"enabled\" bool" path);
+      match J.member "events" meta with
+      | Some (J.Int n) when n >= 0 -> ()
+      | _ -> fail "%s: trace_meta lacks non-negative \"events\"" path)
+  | None -> fail "%s: missing \"trace_meta\" section" path);
   Printf.printf "%s: BENCH_v1 report ok\n" path

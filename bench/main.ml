@@ -1,10 +1,12 @@
 (* Benchmark harness: regenerates every table and figure of DESIGN.md §4
    (the empirical analogues of the paper's theorems), then runs bechamel
    micro-benchmarks of the hot kernels.  With [--json PATH] the run is
-   additionally serialized as a BENCH_v1 report (schema in DESIGN.md §4).
+   additionally serialized as a BENCH_v1 report (schema in DESIGN.md §4);
+   with [--trace PATH] span begin/end and instant events are recorded and
+   written as a Chrome/Perfetto trace_event JSON array.
 
    Usage:  dune exec bench/main.exe -- [--full] [--only T1,F4]
-           [--seed N] [--no-micro] [--json PATH]                       *)
+           [--seed N] [--no-micro] [--json PATH] [--trace PATH]        *)
 
 module P = Wm_graph.Prng
 module G = Wm_graph.Weighted_graph
@@ -144,7 +146,27 @@ let section_to_json (s : Report.captured_section) =
       ("notes", J.List (List.map (fun n -> J.Str n) s.Report.notes));
     ]
 
-let write_report ~path ~quick ~seed ~jobs ~sections ~micro =
+let write_json ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      J.to_channel oc json;
+      output_char oc '\n');
+  Printf.printf "\nwrote %s\n%!" path
+
+let write_report ~path ~quick ~seed ~jobs ~trace_path ~sections ~micro =
+  let obs_json = Obs.to_json Obs.default in
+  let histograms =
+    match J.member "histograms" obs_json with
+    | Some h -> h
+    | None -> J.Obj []
+  in
+  let trace_meta =
+    match Wm_obs.Trace.meta () with
+    | J.Obj fields -> J.Obj (fields @ [ ("path", J.Str trace_path) ])
+    | j -> j
+  in
   let json =
     J.Obj
       [
@@ -159,16 +181,13 @@ let write_report ~path ~quick ~seed ~jobs ~sections ~micro =
                (fun (name, ns) ->
                  J.Obj [ ("name", J.Str name); ("ns_per_run", J.Float ns) ])
                micro) );
-        ("obs", Obs.to_json Obs.default);
+        ("obs", obs_json);
+        ("histograms", histograms);
+        ("ledger", Wm_obs.Ledger.to_json Wm_obs.Ledger.default);
+        ("trace_meta", trace_meta);
       ]
   in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      J.to_channel oc json;
-      output_char oc '\n');
-  Printf.printf "\nwrote %s\n%!" path
+  write_json ~path json
 
 let () =
   let full = ref false in
@@ -176,6 +195,7 @@ let () =
   let seed = ref 42 in
   let micro = ref true in
   let json_path = ref "" in
+  let trace_path = ref "" in
   let jobs = ref 0 in
   let args =
     [
@@ -184,6 +204,10 @@ let () =
       ("--seed", Arg.Set_int seed, "base random seed (default 42)");
       ("--no-micro", Arg.Clear micro, "skip bechamel micro-benchmarks");
       ("--json", Arg.Set_string json_path, "write a BENCH_v1 JSON report to PATH");
+      ( "--trace",
+        Arg.Set_string trace_path,
+        "record span/instant events and write a Chrome trace_event JSON \
+         array to PATH (loadable in Perfetto)" );
       ( "--jobs",
         Arg.Set_int jobs,
         "worker domains for the parallel substrate (default: \
@@ -193,7 +217,7 @@ let () =
   in
   let usage =
     "bench/main.exe [--full] [--only IDS] [--seed N] [--no-micro] [--json \
-     PATH] [--jobs N]"
+     PATH] [--trace PATH] [--jobs N]"
   in
   Arg.parse args
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
@@ -209,6 +233,7 @@ let () =
     (if quick then "quick" else "full")
     !seed jobs;
   if !json_path <> "" then Report.start_capture ();
+  if !trace_path <> "" then Wm_obs.Trace.set_enabled true;
   (if !only = "" then Wm_harness.Experiments.run_all ~quick ~seed:!seed
    else
      String.split_on_char ',' !only
@@ -217,6 +242,20 @@ let () =
             | Some e -> e.Wm_harness.Experiments.run ~quick ~seed:!seed
             | None -> Printf.printf "unknown experiment id: %s\n" id));
   let micro_estimates = if !micro then micro_benchmarks () else [] in
+  (* Stop tracing before export: export reads the per-domain buffers
+     without synchronising with writers. *)
+  if !trace_path <> "" then begin
+    Wm_obs.Trace.set_enabled false;
+    (* Compact, not pretty: traces run to tens of thousands of events. *)
+    let oc = open_out !trace_path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (J.to_string (Wm_obs.Trace.export ()));
+        output_char oc '\n');
+    Printf.printf "\nwrote %s\n%!" !trace_path
+  end;
   if !json_path <> "" then
     write_report ~path:!json_path ~quick ~seed:!seed ~jobs
-      ~sections:(Report.capture ()) ~micro:micro_estimates
+      ~trace_path:!trace_path ~sections:(Report.capture ())
+      ~micro:micro_estimates

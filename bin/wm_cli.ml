@@ -214,13 +214,71 @@ let run_solve family n density weights seed algo epsilon input jobs json =
       Printf.printf "wrote %s\n" path);
   0
 
-let run_stats family n density weights seed algo epsilon input jobs =
+(* Flatten the WM_STATS_v1 tree into [key TAB value] rows: objects
+   nest with ".", scalar leaves are emitted, lists (histogram buckets,
+   experiment tables) are skipped — pipelines that want those should
+   consume the JSON form. *)
+let rec tsv_rows prefix j acc =
+  let open Wm_obs.Json in
+  let key k = if prefix = "" then k else prefix ^ "." ^ k in
+  match j with
+  | Obj fields ->
+      List.fold_left (fun acc (k, v) -> tsv_rows (key k) v acc) acc fields
+  | Int n -> (prefix, string_of_int n) :: acc
+  | Float f -> (prefix, Printf.sprintf "%.6g" f) :: acc
+  | Bool b -> (prefix, string_of_bool b) :: acc
+  | Str s -> (prefix, s) :: acc
+  | Null | List _ -> acc
+
+type stats_format = Fjson | Ftsv
+
+let format_conv = Cmdliner.Arg.enum [ ("json", Fjson); ("tsv", Ftsv) ]
+
+let run_stats family n density weights seed algo epsilon input jobs format =
   set_jobs jobs;
   let g, result =
     execute ~verbose:false ~family ~n ~density ~weights ~seed ~algo ~epsilon
       ~input
   in
-  print_endline (Wm_obs.Json.to_string_pretty (run_json ~g ~algo ~result));
+  let json = run_json ~g ~algo ~result in
+  (match format with
+  | Fjson -> print_endline (Wm_obs.Json.to_string_pretty json)
+  | Ftsv ->
+      List.iter
+        (fun (k, v) -> Printf.printf "%s\t%s\n" k v)
+        (List.rev (tsv_rows "" json [])));
+  0
+
+(* Like [solve], but with the trace sink enabled: spans and instants
+   recorded during the run are written as a Chrome/Perfetto
+   trace_event JSON array (load via https://ui.perfetto.dev). *)
+let run_trace family n density weights seed algo epsilon input jobs out =
+  set_jobs jobs;
+  Wm_obs.Trace.set_enabled true;
+  let g, result =
+    execute ~verbose:true ~family ~n ~density ~weights ~seed ~algo ~epsilon
+      ~input
+  in
+  Wm_obs.Trace.set_enabled false;
+  Printf.printf "matching: size=%d weight=%d valid=%b\n" (M.size result)
+    (M.weight result)
+    (M.is_valid_in result g);
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Wm_obs.Json.to_channel oc (Wm_obs.Trace.export ());
+      output_char oc '\n');
+  (match Wm_obs.Trace.meta () with
+  | Wm_obs.Json.Obj fields ->
+      let int k =
+        match List.assoc_opt k fields with
+        | Some (Wm_obs.Json.Int n) -> n
+        | _ -> 0
+      in
+      Printf.printf "wrote %s: %d events (%d dropped) from %d domains\n" out
+        (int "events") (int "dropped") (int "domains")
+  | _ -> Printf.printf "wrote %s\n" out);
   0
 
 (* ------------------------------------------------------------------ *)
@@ -303,13 +361,40 @@ let solve_cmd =
       $ algo_t $ eps_t $ input_t $ jobs_t $ json_t)
 
 let stats_cmd =
+  let format_t =
+    Arg.(
+      value
+      & opt format_conv Fjson
+      & info [ "format" ]
+          ~doc:
+            "Output format: $(b,json) (the WM_STATS_v1 report) or $(b,tsv) \
+             (flat key/value rows over the same data — counters, gauges, \
+             timer and histogram percentiles — for shell pipelines).")
+  in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Run one algorithm and print only the WM_STATS_v1 JSON report \
+       ~doc:"Run one algorithm and print only the WM_STATS_v1 report \
              (result, approximation ratio, obs counters) on stdout")
     Term.(
       const run_stats $ family_t $ n_t $ density_t $ weights_t $ seed_t
-      $ algo_t $ eps_t $ input_t $ jobs_t)
+      $ algo_t $ eps_t $ input_t $ jobs_t $ format_t)
+
+let trace_cmd =
+  let out_t =
+    Arg.(
+      value
+      & opt string "wm_trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Trace output file (Chrome trace_event JSON array).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one algorithm with span tracing enabled and write a \
+             Chrome/Perfetto trace_event file (open in ui.perfetto.dev or \
+             chrome://tracing)")
+    Term.(
+      const run_trace $ family_t $ n_t $ density_t $ weights_t $ seed_t
+      $ algo_t $ eps_t $ input_t $ jobs_t $ out_t)
 
 let experiment_cmd =
   let ids_t =
@@ -351,6 +436,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "wm_cli" ~version:"1.0.0"
        ~doc:"Weighted matchings via unweighted augmentations (PODC 2019)")
-    [ solve_cmd; stats_cmd; gen_cmd; experiment_cmd; list_cmd ]
+    [ solve_cmd; stats_cmd; trace_cmd; gen_cmd; experiment_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

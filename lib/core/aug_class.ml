@@ -182,7 +182,9 @@ let eval_pair params tp (gp : Layered.parametrized) m ~scale pair =
     }
   end
 
-let run params rng g m ~scale =
+let pair_label pair = Format.asprintf "%a" Tau.pp pair
+
+let run ?(span_path = "core.aug_class") params rng g m ~scale =
   let tp = Params.tau_params params in
   let gp = Layered.parametrize rng g m in
   let pairs = candidate_pairs params rng gp ~scale in
@@ -191,10 +193,15 @@ let run params rng g m ~scale =
      result is independent of the jobs setting.  Inside Main_alg's own
      per-scale fan-out this degrades to a sequential map (nested pool
      calls fall back), and pair-level parallelism kicks in when a class
-     is run on its own. *)
+     is run on its own.  Each pair's evaluation is timed under an
+     explicit root path ([<span_path>/pair=<tau>]) so the attribution is
+     identical no matter which domain evaluates it. *)
   let evals =
     Wm_par.Pool.map (Wm_par.Pool.default ())
-      (fun pair -> eval_pair params tp gp m ~scale pair)
+      (fun pair ->
+        Wm_obs.Obs.with_span_root Wm_obs.Obs.default
+          (span_path ^ "/pair=" ^ pair_label pair)
+          (fun () -> eval_pair params tp gp m ~scale pair))
       pairs
   in
   let stats =

@@ -51,6 +51,7 @@ val candidate_pairs :
     cannot host any augmentation. *)
 
 val run :
+  ?span_path:string ->
   Params.t ->
   Wm_graph.Prng.t ->
   Wm_graph.Weighted_graph.t ->
@@ -59,4 +60,8 @@ val run :
   Aug.t list * stats
 (** [run params rng g m ~scale] returns the winning pair's
     vertex-disjoint augmentations (possibly empty), each strictly
-    gainful against [m]. *)
+    gainful against [m].  Each tau pair's layered-graph evaluation is
+    recorded under the root span path [<span_path>/pair=<tau>]
+    (default [span_path] is ["core.aug_class"]); [Main_alg] passes its
+    per-scale path so attribution nests under the round regardless of
+    which pool domain evaluates the pair. *)

@@ -9,6 +9,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 let c_rounds = Obs.counter Obs.default "core.main_alg.rounds"
 let c_applied = Obs.counter Obs.default "core.main_alg.augmentations"
 let c_gain = Obs.counter Obs.default "core.main_alg.gain"
+let h_aug_gain = Obs.histogram Obs.default "core.main_alg.aug_gain"
 
 type round_stats = {
   scales_tried : int;
@@ -50,10 +51,18 @@ let improve_once params rng g m =
   let tasks =
     List.map (fun scale -> (scale, Wm_graph.Prng.split rng)) scales
   in
+  (* Spans inside the fan-out use explicit root paths: a pool worker's
+     ambient span stack is empty, so relying on nesting would attribute
+     the same work differently at jobs=1 (under the round span) and
+     jobs>1 (top-level).  Root paths make the timer table identical. *)
   let per_scale =
     Wm_par.Pool.map (Wm_par.Pool.default ())
       (fun (scale, class_rng) ->
-        (scale, Aug_class.run params class_rng g m ~scale))
+        let span_path =
+          Printf.sprintf "core.main_alg.round/scale=%g" scale
+        in
+        Obs.with_span_root Obs.default span_path (fun () ->
+            (scale, Aug_class.run params class_rng g m ~scale ~span_path)))
       tasks
   in
   let one_augs = Aug_class.one_augmentations g m in
@@ -71,7 +80,8 @@ let improve_once params rng g m =
             Aug.apply c m;
             List.iter (fun v -> Hashtbl.replace used v ()) touched;
             incr applied;
-            gain := !gain + gc
+            gain := !gain + gc;
+            Obs.observe h_aug_gain gc
           end
         end)
       augs
@@ -86,6 +96,19 @@ let improve_once params rng g m =
         (List.length scales) !applied !gain (M.weight m));
   Obs.add c_applied !applied;
   Obs.add c_gain (Stdlib.max 0 !gain);
+  Wm_obs.Ledger.record Wm_obs.Ledger.default ~section:"core.main_alg"
+    [
+      ("round", Obs.value c_rounds);
+      ("scales", List.length scales);
+      ("augmentations", !applied);
+      ("gain", !gain);
+    ];
+  if Wm_obs.Trace.enabled () then
+    Wm_obs.Trace.instant "core.main_alg.round-done"
+      ~args:
+        [
+          ("applied", string_of_int !applied); ("gain", string_of_int !gain);
+        ];
   Obs.span_close Obs.default;
   {
     scales_tried = List.length scales;

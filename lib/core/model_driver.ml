@@ -33,8 +33,20 @@ let streaming ?(patience = 4) params rng stream =
         0 r.Main_alg.class_stats
     in
     S.charge_passes stream bb_passes;
-    peak := Stdlib.max !peak (round_memory r + M.size m);
+    let round_peak = round_memory r + M.size m in
+    peak := Stdlib.max !peak round_peak;
     incr i;
+    (* One ledger row per improvement round: the pass bill (feeding pass
+       + black-box passes) and the round's peak stored-edge count, the
+       per-round shape behind Thm 4.1's pass-overhead claim. *)
+    Wm_obs.Ledger.record Wm_obs.Ledger.default
+      ~section:"core.model_driver.stream"
+      [
+        ("round", !i);
+        ("passes", 1 + bb_passes);
+        ("peak_edges", round_peak);
+        ("gain", r.Main_alg.gain);
+      ];
     if r.Main_alg.gain = 0 then incr dry else dry := 0
   done;
   { matching = m; passes = S.passes stream; peak_edges = !peak; rounds_run = !i }

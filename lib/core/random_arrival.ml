@@ -5,9 +5,12 @@ module S = Wm_stream.Edge_stream
 module LR = Wm_algos.Local_ratio
 module Meter = Wm_stream.Space_meter
 module Obs = Wm_obs.Obs
+module Ledger = Wm_obs.Ledger
+module Trace = Wm_obs.Trace
 
 let c_runs = Obs.counter Obs.default "core.random_arrival.runs"
 let c_t_retained = Obs.counter Obs.default "core.random_arrival.t_retained"
+let h_t_residual = Obs.histogram Obs.default "core.random_arrival.t_residual"
 
 type result = {
   matching : M.t;
@@ -50,6 +53,15 @@ let run ?p ?alpha ?beta ?(meter = Meter.create ()) ~rng stream =
               (* Crossing the cut: unwind the prefix stack into M0,
                  freeze potentials, start WGT-AUG-PATHS. *)
               Obs.span_close Obs.default (* prefix *);
+              Ledger.record Ledger.default ~label:"prefix"
+                ~section:"core.random_arrival"
+                [
+                  ("peak_words", Meter.checkpoint meter);
+                  ("stack_edges", LR.stack_size lr);
+                ];
+              if Trace.enabled () then
+                Trace.instant "core.random_arrival.cut"
+                  ~args:[ ("prefix_edges", string_of_int cut) ];
               Obs.span_open Obs.default "suffix";
               LR.freeze lr;
               let m0 = LR.unwind lr in
@@ -57,10 +69,12 @@ let run ?p ?alpha ?beta ?(meter = Meter.create ()) ~rng stream =
               wap := Some w;
               w
         in
-        if LR.residual lr e > 0 then begin
+        let r = LR.residual lr e in
+        if r > 0 then begin
           t_set := e :: !t_set;
           incr t_size;
           Obs.incr c_t_retained;
+          Obs.observe h_t_residual r;
           Meter.retain meter 1
         end;
         Wgt_aug_paths.feed w e
@@ -71,6 +85,12 @@ let run ?p ?alpha ?beta ?(meter = Meter.create ()) ~rng stream =
     match !wap with
     | Some w -> w
     | None ->
+        Ledger.record Ledger.default ~label:"prefix"
+          ~section:"core.random_arrival"
+          [
+            ("peak_words", Meter.checkpoint meter);
+            ("stack_edges", LR.stack_size lr);
+          ];
         LR.freeze lr;
         let m0 = LR.unwind lr in
         let w = Wgt_aug_paths.create ?alpha ?beta ~meter ~rng ~m0 () in
@@ -108,6 +128,11 @@ let run ?p ?alpha ?beta ?(meter = Meter.create ()) ~rng stream =
     Obs.with_span Obs.default "finalize" (fun () -> Wgt_aug_paths.finalize w)
   in
   Obs.span_close Obs.default (* core.random_arrival *);
+  (* Per-pass space accounting (Thm 3.14 audit): the suffix row closes
+     the run's second pass segment, so the lifetime meter peak is the
+     max over this run's [peak_words] rows when the meter is fresh. *)
+  Ledger.record Ledger.default ~label:"suffix" ~section:"core.random_arrival"
+    [ ("peak_words", Meter.checkpoint meter); ("t_edges", !t_size) ];
   let m2 = wres.Wgt_aug_paths.matching in
   let best = if M.weight m1 >= M.weight m2 then m1 else m2 in
   {

@@ -35,7 +35,15 @@ val run :
     while keeping the retained set [T] within the memory budget;
     [alpha] and [beta] are passed to {!Wgt_aug_paths}.  The [(1/2 + c)]
     guarantee holds in expectation when the stream order is uniformly
-    random. *)
+    random.
+
+    Each run appends [prefix] and [suffix] rows to the
+    [core.random_arrival] section of {!Wm_obs.Ledger.default} carrying
+    the per-pass-segment peak meter words
+    ({!Wm_stream.Space_meter.checkpoint}) and retained-edge counts —
+    the per-pass shape of Thm 3.14's space claim.  On a fresh [meter],
+    the lifetime peak equals the max over the run's [peak_words]
+    rows. *)
 
 val solve :
   ?p:float -> rng:Wm_graph.Prng.t -> Wm_stream.Edge_stream.t -> Wm_graph.Matching.t

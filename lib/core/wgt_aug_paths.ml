@@ -11,6 +11,7 @@ let c_excess_pushed = Obs.counter Obs.default "core.wap.excess_pushed"
 let c_duplicates = Obs.counter Obs.default "core.wap.duplicate_candidates"
 let c_forwarded = Obs.counter Obs.default "core.wap.forwarded"
 let c_augs = Obs.counter Obs.default "core.wap.augmentations"
+let h_excess = Obs.histogram Obs.default "core.wap.excess"
 
 type result = {
   matching : M.t;
@@ -101,6 +102,7 @@ let feed t e =
        (possibly lighter) original. *)
     if LR.feed_pushed t.approx (E.reweight e excess) then begin
       Obs.incr c_excess_pushed;
+      Obs.observe h_excess excess;
       match Hashtbl.find_opt t.originals key with
       | Some (prev, prev_excess)
         when prev_excess = excess && E.weight prev >= E.weight e ->
@@ -176,6 +178,13 @@ let finalize t =
         (U3.finalize inst))
     classes;
   Obs.add c_augs !applied;
+  Wm_obs.Ledger.record Wm_obs.Ledger.default ~section:"core.wap"
+    [
+      ("marked", t.marked);
+      ("forwarded", t.forwarded);
+      ("stored_candidates", Hashtbl.length t.originals);
+      ("augmentations", !applied);
+    ];
   let best = if M.weight m1 >= M.weight m2 then m1 else m2 in
   {
     matching = best;

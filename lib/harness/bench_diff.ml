@@ -1,0 +1,126 @@
+module J = Wm_obs.Json
+
+type thresholds = {
+  ns : float;
+  space : float;
+  counter : float;
+  min_counter_base : int;
+}
+
+let default_thresholds =
+  { ns = 0.5; space = 0.1; counter = 0.5; min_counter_base = 16 }
+
+type verdict = Ok | Regression | Improvement
+
+type finding = {
+  metric : string;
+  base : float;
+  cand : float;
+  rel : float;
+  verdict : verdict;
+}
+
+let classify ~threshold ~base ~cand =
+  let rel = if base = 0.0 then 0.0 else (cand -. base) /. base in
+  let verdict =
+    if rel > threshold then Regression
+    else if rel < -.threshold then Improvement
+    else Ok
+  in
+  (rel, verdict)
+
+let finding ~threshold metric base cand =
+  let rel, verdict = classify ~threshold ~base ~cand in
+  { metric; base; cand; rel; verdict }
+
+let check_schema path json =
+  match J.member "schema" json with
+  | Some (J.Str "BENCH_v1") -> Stdlib.Ok ()
+  | Some j ->
+      Stdlib.Error (Printf.sprintf "%s: unexpected schema %s" path (J.to_string j))
+  | None -> Stdlib.Error (Printf.sprintf "%s: not a BENCH_v1 report" path)
+
+(* micro: [{"name": .., "ns_per_run": ..}] -> assoc *)
+let micro_estimates json =
+  match J.member "micro" json with
+  | Some (J.List items) ->
+      List.filter_map
+        (fun item ->
+          match (J.member "name" item, J.member "ns_per_run" item) with
+          | Some (J.Str name), Some (J.Float ns) -> Some (name, ns)
+          | Some (J.Str name), Some (J.Int ns) -> Some (name, float_of_int ns)
+          | _ -> None)
+        items
+  | _ -> []
+
+let obs_counters json =
+  match J.member "obs" json with
+  | Some obs -> (
+      match J.member "counters" obs with
+      | Some (J.Obj fields) ->
+          List.filter_map
+            (fun (k, v) ->
+              match v with J.Int n -> Some (k, n) | _ -> None)
+            fields
+      | _ -> [])
+  | None -> []
+
+let is_space_counter name =
+  String.length name >= 6 && String.sub name 0 6 = "space."
+
+let compare_reports ?(thresholds = default_thresholds) ~base cand =
+  match (check_schema "base" base, check_schema "candidate" cand) with
+  | Stdlib.Error e, _ | _, Stdlib.Error e -> Stdlib.Error e
+  | Stdlib.Ok (), Stdlib.Ok () ->
+      let micro_base = micro_estimates base in
+      let micro_cand = micro_estimates cand in
+      let micro_findings =
+        List.filter_map
+          (fun (name, b) ->
+            match List.assoc_opt name micro_cand with
+            | Some c ->
+                Some (finding ~threshold:thresholds.ns ("micro:" ^ name) b c)
+            | None -> None)
+          micro_base
+      in
+      let counters_base = obs_counters base in
+      let counters_cand = obs_counters cand in
+      let counter_findings space =
+        List.filter_map
+          (fun (name, b) ->
+            if is_space_counter name <> space then None
+            else if (not space) && b < thresholds.min_counter_base then None
+            else
+              match List.assoc_opt name counters_cand with
+              | Some c ->
+                  let threshold =
+                    if space then thresholds.space else thresholds.counter
+                  in
+                  Some
+                    (finding ~threshold ("counter:" ^ name) (float_of_int b)
+                       (float_of_int c))
+              | None -> None)
+          counters_base
+      in
+      Stdlib.Ok
+        (micro_findings @ counter_findings true @ counter_findings false)
+
+let has_regression = List.exists (fun f -> f.verdict = Regression)
+
+let verdict_tag = function
+  | Regression -> "REGRESSION "
+  | Improvement -> "improvement"
+  | Ok -> "ok         "
+
+let render findings =
+  match findings with
+  | [] -> "bench-diff: no shared metrics to compare\n"
+  | fs ->
+      let lines =
+        List.map
+          (fun f ->
+            Printf.sprintf "%s %-48s base=%14.1f cand=%14.1f (%+.1f%%)"
+              (verdict_tag f.verdict) f.metric f.base f.cand (100.0 *. f.rel))
+          fs
+      in
+      String.concat "\n" lines ^ "\n"

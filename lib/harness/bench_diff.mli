@@ -1,0 +1,58 @@
+(** The bench-diff regression gate: compare two BENCH_v1 reports.
+
+    Given a baseline report and a candidate report (both parsed
+    {!Wm_obs.Json.t} documents), compare the metrics the harness
+    guards — bechamel [ns/run] per micro-benchmark, peak retained
+    space, and the work counters of the obs snapshot — against
+    {e relative} thresholds, and classify each shared metric as ok,
+    regression, or improvement.  [bench/diff.exe] wraps this into a CLI
+    that exits non-zero when any regression is found, which is what the
+    [@bench-diff] dune alias (and any CI job diffing a PR's report
+    against the base branch's) gates on. *)
+
+type thresholds = {
+  ns : float;
+      (** max tolerated relative increase of a micro-benchmark's
+          [ns_per_run] (default 0.5, i.e. +50% — bechamel estimates on
+          sub-millisecond kernels are noisy; a genuine 2x slowdown
+          still trips the gate) *)
+  space : float;
+      (** max tolerated relative increase of space counters
+          ([space.peak_max], [space.retained_total]; default 0.1) *)
+  counter : float;
+      (** max tolerated relative increase of any other obs counter
+          (default 0.5) *)
+  min_counter_base : int;
+      (** counters with a baseline below this are skipped — tiny
+          counts flip on legitimate changes (default 16; space
+          counters are always compared) *)
+}
+
+val default_thresholds : thresholds
+
+type verdict = Ok | Regression | Improvement
+
+type finding = {
+  metric : string;  (** e.g. ["micro:T1:random-arrival(n=400)"],
+                        ["counter:space.peak_max"] *)
+  base : float;
+  cand : float;
+  rel : float;  (** [(cand - base) / base] *)
+  verdict : verdict;
+}
+
+val compare_reports :
+  ?thresholds:thresholds ->
+  base:Wm_obs.Json.t ->
+  Wm_obs.Json.t ->
+  (finding list, string) result
+(** [compare_reports ~base cand] — all shared metrics, in report order (micro benches, then space
+    counters, then other counters).  Metrics present in only one report
+    are skipped — the gate compares what both runs measured.  [Error]
+    when either document is not a BENCH_v1 report. *)
+
+val has_regression : finding list -> bool
+
+val render : finding list -> string
+(** Human-readable multi-line table of the findings, one per line,
+    regressions marked. *)

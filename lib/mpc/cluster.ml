@@ -1,4 +1,5 @@
 module Obs = Wm_obs.Obs
+module Ledger = Wm_obs.Ledger
 
 let c_rounds = Obs.counter Obs.default "mpc.rounds"
 let c_load_max = Obs.counter Obs.default "mpc.machine_load_max"
@@ -9,6 +10,20 @@ type t = {
   mutable rounds : int;
   mutable peak : int;
 }
+
+(* Per-operation accounting rows: [label] is the communication
+   primitive, [rounds] its round bill, [words] the data it moved, and
+   [max_load] the largest per-machine holding it induced — the ledger
+   behind the Thm 4.1 O_eps(log log n)-rounds / O~(n)-memory audit.
+   [round] is the cluster's round clock after the operation. *)
+let op_row t ~label ~rounds ~words ~max_load =
+  Ledger.record Ledger.default ~label ~section:"mpc.ops"
+    [
+      ("round", t.rounds);
+      ("rounds", rounds);
+      ("words", words);
+      ("max_load", max_load);
+    ]
 
 exception Memory_exceeded of { machine : int; used : int; capacity : int }
 
@@ -37,27 +52,38 @@ let scatter t items =
   charge_rounds t 1;
   let shards = Array.make t.machines [] in
   Array.iteri (fun i x -> shards.(i mod t.machines) <- x :: shards.(i mod t.machines)) items;
-  Array.mapi
-    (fun i shard ->
-      let a = Array.of_list (List.rev shard) in
-      check_load t ~machine:i ~words:(Array.length a);
-      a)
-    shards
+  let max_shard = ref 0 in
+  let out =
+    Array.mapi
+      (fun i shard ->
+        let a = Array.of_list (List.rev shard) in
+        max_shard := Stdlib.max !max_shard (Array.length a);
+        check_load t ~machine:i ~words:(Array.length a);
+        a)
+      shards
+  in
+  op_row t ~label:"scatter" ~rounds:1 ~words:(Array.length items)
+    ~max_load:!max_shard;
+  out
 
 let broadcast t ~words =
   charge_rounds t 2;
   for i = 0 to t.machines - 1 do
     check_load t ~machine:i ~words
-  done
+  done;
+  op_row t ~label:"broadcast" ~rounds:2 ~words:(words * t.machines)
+    ~max_load:words
 
 let gather t shards =
   charge_rounds t 1;
   let total = Array.fold_left (fun acc s -> acc + Array.length s) 0 shards in
   check_load t ~machine:0 ~words:total;
+  op_row t ~label:"gather" ~rounds:1 ~words:total ~max_load:total;
   Array.concat (Array.to_list shards)
 
 let run_round t f shard_inputs =
   if Array.length shard_inputs <> t.machines then
     invalid_arg "Cluster.run_round: one input per machine expected";
   charge_rounds t 1;
+  op_row t ~label:"compute" ~rounds:1 ~words:0 ~max_load:0;
   Array.map f shard_inputs

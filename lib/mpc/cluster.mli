@@ -7,7 +7,15 @@
     model charges for — rounds, and per-machine memory — and raises
     when a machine would exceed its memory, so that experiment T4 can
     verify the paper's [O_eps(log log n)]-rounds / [O~(n)]-memory
-    claims structurally. *)
+    claims structurally.
+
+    Besides the lifetime counters ([mpc.rounds],
+    [mpc.machine_load_max] in {!Wm_obs.Obs.default}), every
+    communication primitive appends a row to the [mpc.ops] section of
+    {!Wm_obs.Ledger.default} — the primitive's name, its round bill,
+    the words it moved and the largest per-machine load it induced —
+    so reports can audit round/memory costs per operation, not just in
+    aggregate. *)
 
 type t
 

@@ -1,12 +1,19 @@
 (** Lightweight metrics for the matching library.
 
-    A registry holds three kinds of instruments:
+    A registry holds four kinds of instruments:
 
     - {e counters}: named, monotonically non-decreasing integers
       (events, items processed, high-water marks via {!set_max});
     - {e timers}: wall-clock phase spans.  Spans nest: closing returns
       to the enclosing span, and a span opened while ["a"] is open is
-      recorded under the path ["a/b"];
+      recorded under the path ["a/b"].  Every timer additionally
+      accumulates its per-span durations into a histogram, so snapshots
+      carry p50/p90/p99 latencies, not just totals;
+    - {e histograms}: log2-bucketed value distributions ({!observe})
+      with count/sum/min/max and interpolated percentiles.  Buckets are
+      atomic, so histograms are {e mergeable across domains} by
+      construction — concurrent observers produce the bucket-count sum,
+      independent of interleaving;
     - {e gauges}: named callbacks sampled at snapshot time, used to
       expose externally-owned state such as a
       [Wm_stream.Space_meter.t]'s current and peak values.
@@ -17,20 +24,35 @@
     whole registry serialises to {!Json.t} with no dependencies beyond
     [unix] (for {!now_ns}).
 
+    {b Name hygiene.}  Instrument names must not contain ['/'] — that
+    character is reserved for span nesting paths, and a name like
+    ["a/b"] would collide with span ["b"] nested under ["a"] in
+    snapshots.  Registration raises [Invalid_argument] on such names.
+
+    {b Tracing.}  When {!Trace} is enabled, {!span_open}/{!span_close}
+    additionally emit begin/end trace events, so span instrumentation
+    doubles as the structured-trace source.
+
     {b Domain safety.}  Registries are safe to use from multiple
-    domains concurrently: counters and timer accumulators are atomics
-    ({!set_max} is a CAS loop, so concurrent high-water raises are never
-    lost), instrument interning and gauge registration are
-    mutex-protected, and the open-span stack is {e per-domain}
-    ([Domain.DLS]) — a span opened on a domain must be closed on the
-    same domain, nesting paths are domain-local, and closed durations
-    merge into the shared timer table at {!span_close} time, so
-    {!to_json} snapshots see every domain's finished spans. *)
+    domains concurrently: counters, histogram buckets and timer
+    accumulators are atomics ({!set_max} is a CAS loop, so concurrent
+    high-water raises are never lost), instrument interning and gauge
+    registration are mutex-protected, and the open-span stack is
+    {e per-domain} ([Domain.DLS]) — a span opened on a domain must be
+    closed on the same domain, nesting paths are domain-local, and
+    closed durations merge into the shared timer table at {!span_close}
+    time, so {!to_json} snapshots see every domain's finished spans.
+    For work fanned out through [Wm_par.Pool], use {!with_span_root}
+    with an explicit path: it records under that exact path on every
+    domain, so attribution does not depend on which domain ran the
+    task. *)
 
 type t
 (** A registry. *)
 
 type counter
+
+type histogram
 
 val create : unit -> t
 (** A fresh, empty registry. *)
@@ -63,6 +85,28 @@ val counter_value : t -> string -> int
 (** [counter_value reg name] is the current value, or [0] when [name]
     was never registered. *)
 
+(** {1 Histograms} *)
+
+val histogram : t -> string -> histogram
+(** [histogram reg name] returns the histogram registered under [name],
+    creating it empty on first use.  Interned like counters. *)
+
+val observe : histogram -> int -> unit
+(** Record one value.  Values land in log2 buckets (bucket 0 holds
+    [v <= 0]; bucket [i >= 1] holds [2^(i-1) .. 2^i - 1]); count, sum,
+    min and max are tracked exactly.  Safe from any domain. *)
+
+val hist_count : histogram -> int
+
+val hist_sum : histogram -> int
+
+val percentile : histogram -> float -> float
+(** [percentile h p] (with [p] in [0..1]) estimates the [p]-quantile by
+    linear interpolation inside the covering log2 bucket, clamped to
+    the observed [min, max].  [0.0] when empty.  The estimate is a pure
+    function of the bucket counts, so it is invariant under observation
+    order and domain count. *)
+
 (** {1 Timers} *)
 
 val now_ns : unit -> int
@@ -81,6 +125,17 @@ val with_span : t -> string -> (unit -> 'a) -> 'a
 (** [with_span reg name f] runs [f] inside a span, closing it even when
     [f] raises. *)
 
+val span_open_root : t -> string -> unit
+(** [span_open_root reg path] opens a span recorded under exactly
+    [path] (which may contain ['/'] separators), ignoring the calling
+    domain's ambient span stack.  Subsequent {!span_open} calls on the
+    same domain nest under it as usual.  Use this to keep attribution
+    stable when the same work may run inline or on a pool worker
+    domain. *)
+
+val with_span_root : t -> string -> (unit -> 'a) -> 'a
+(** {!span_open_root} + {!span_close}, exception-safe. *)
+
 val span_total_ns : t -> string -> int
 (** Accumulated nanoseconds recorded under a span path ([0] if never
     closed). *)
@@ -97,11 +152,17 @@ val gauge : t -> string -> (unit -> int) -> unit
 (** {1 Snapshots} *)
 
 val to_json : t -> Json.t
-(** [{"counters": {..}, "timers": {name: {"total_ns": .., "count": ..}},
-    "gauges": {..}}] with names sorted for stable diffs.  Open spans are
-    not included until closed. *)
+(** [{"counters": {..},
+     "timers": {name: {"total_ns", "count", "p50_ns", "p90_ns", "p99_ns"}},
+     "gauges": {..},
+     "histograms": {name: {"count", "sum", "min", "max",
+                           "p50", "p90", "p99",
+                           "buckets": [[lo, count], ..]}}}]
+    with names sorted for stable diffs.  Histogram [buckets] lists only
+    non-empty buckets, as [[inclusive-lower-bound, count]] pairs in
+    increasing order.  Open spans are not included until closed. *)
 
 val reset : t -> unit
-(** Zero all counters and timers and drop the calling domain's open
-    spans.  Gauge registrations survive (their backing state is
-    caller-owned). *)
+(** Zero all counters, timers and histograms and drop the calling
+    domain's open spans.  Gauge registrations survive (their backing
+    state is caller-owned). *)

@@ -1,0 +1,143 @@
+type event = {
+  ph : char;
+  name : string;
+  ts_ns : int;
+  dom : int;
+  args : (string * string) list;
+}
+
+let dummy_event = { ph = 'i'; name = ""; ts_ns = 0; dom = 0; args = [] }
+
+type buffer = {
+  b_dom : int;
+  b_gen : int;  (* buffers from an older generation are abandoned *)
+  b_events : event array;
+  mutable b_len : int;
+  mutable b_dropped : int;
+}
+
+let enabled_flag = Atomic.make false
+let capacity = Atomic.make 65_536
+let generation = Atomic.make 0
+let registry_lock = Mutex.create ()
+let buffers : buffer list ref = ref []
+
+(* Each domain caches its own buffer; [clear] bumps the generation so
+   cached buffers from before the clear are silently re-created. *)
+let my_buffer : buffer option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+let set_capacity n = Atomic.set capacity (Stdlib.max 1 n)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let fresh_buffer () =
+  let b =
+    {
+      b_dom = (Domain.self () :> int);
+      b_gen = Atomic.get generation;
+      b_events = Array.make (Atomic.get capacity) dummy_event;
+      b_len = 0;
+      b_dropped = 0;
+    }
+  in
+  Mutex.lock registry_lock;
+  buffers := b :: !buffers;
+  Mutex.unlock registry_lock;
+  b
+
+let current_buffer () =
+  let cell = Domain.DLS.get my_buffer in
+  match !cell with
+  | Some b when b.b_gen = Atomic.get generation -> b
+  | Some _ | None ->
+      let b = fresh_buffer () in
+      cell := Some b;
+      b
+
+let record ph name args =
+  if Atomic.get enabled_flag then begin
+    let b = current_buffer () in
+    if b.b_len < Array.length b.b_events then begin
+      b.b_events.(b.b_len) <-
+        { ph; name; ts_ns = now_ns (); dom = b.b_dom; args };
+      b.b_len <- b.b_len + 1
+    end
+    else b.b_dropped <- b.b_dropped + 1
+  end
+
+let begin_ ?(args = []) name = record 'B' name args
+let end_ ?(args = []) name = record 'E' name args
+let instant ?(args = []) name = record 'i' name args
+
+let live_buffers () =
+  Mutex.lock registry_lock;
+  let gen = Atomic.get generation in
+  let bs = List.filter (fun b -> b.b_gen = gen) !buffers in
+  Mutex.unlock registry_lock;
+  bs
+
+let events () =
+  let all =
+    List.concat_map
+      (fun b -> Array.to_list (Array.sub b.b_events 0 b.b_len))
+      (live_buffers ())
+  in
+  List.sort
+    (fun a b ->
+      match Int.compare a.ts_ns b.ts_ns with
+      | 0 -> Int.compare a.dom b.dom
+      | c -> c)
+    all
+
+let dropped () =
+  List.fold_left (fun acc b -> acc + b.b_dropped) 0 (live_buffers ())
+
+let clear () =
+  Mutex.lock registry_lock;
+  buffers := [];
+  Atomic.incr generation;
+  Mutex.unlock registry_lock
+
+let event_to_json ~t0 e =
+  let base =
+    [
+      ("name", Json.Str e.name);
+      ("cat", Json.Str "wm");
+      ("ph", Json.Str (String.make 1 e.ph));
+      ("ts", Json.Float (float_of_int (e.ts_ns - t0) /. 1e3));
+      ("pid", Json.Int 0);
+      ("tid", Json.Int e.dom);
+    ]
+  in
+  let scope = if e.ph = 'i' then [ ("s", Json.Str "t") ] else [] in
+  let args =
+    match e.args with
+    | [] -> []
+    | kvs ->
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) kvs)) ]
+  in
+  Json.Obj (base @ scope @ args)
+
+(* Timestamps are rebased to the earliest event so the exported
+   microsecond values stay well within float precision (absolute
+   epoch-nanosecond stamps would round to ~10ms granularity). *)
+let export () =
+  let evs = events () in
+  let t0 =
+    List.fold_left (fun acc e -> Stdlib.min acc e.ts_ns) max_int evs
+  in
+  let t0 = if t0 = max_int then 0 else t0 in
+  Json.List (List.map (event_to_json ~t0) evs)
+
+let meta () =
+  let bs = live_buffers () in
+  Json.Obj
+    [
+      ("enabled", Json.Bool (Atomic.get enabled_flag));
+      ("events", Json.Int (List.fold_left (fun a b -> a + b.b_len) 0 bs));
+      ("dropped", Json.Int (List.fold_left (fun a b -> a + b.b_dropped) 0 bs));
+      ("domains", Json.Int (List.length bs));
+    ]

@@ -1,0 +1,63 @@
+(** Structured trace events in Chrome/Perfetto [trace_event] format.
+
+    A process-wide, initially-disabled event sink: when enabled, the
+    {!Obs} span API (and any direct caller) records begin/end/instant
+    events into {e per-domain bounded buffers}.  Writes are lock-free —
+    each domain appends to its own buffer, discovered through
+    [Domain.DLS] — and the buffers are merged, time-sorted, only when a
+    snapshot is taken.  When a buffer fills, further events on that
+    domain are dropped (and counted) rather than overwriting history,
+    so an exported trace always has matched [B]/[E] prefixes.
+
+    {b Concurrency.}  Recording is safe from any domain.  {!export},
+    {!events}, {!clear} and {!meta} must run while no other domain is
+    actively recording (e.g. after pool tasks have drained) — they read
+    the per-domain buffers without synchronising with writers. *)
+
+type event = {
+  ph : char;  (** ['B'] begin, ['E'] end, ['i'] instant *)
+  name : string;
+  ts_ns : int;  (** wall-clock nanoseconds since the epoch *)
+  dom : int;  (** recording domain id, exported as [tid] *)
+  args : (string * string) list;
+}
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Turn the sink on or off.  Off (the default) makes {!begin_},
+    {!end_} and {!instant} no-ops costing one atomic load. *)
+
+val set_capacity : int -> unit
+(** Per-domain buffer capacity (default 65536 events).  Affects buffers
+    created after the call; {!clear} discards existing buffers, so
+    [clear (); set_capacity n] resizes everything. *)
+
+val begin_ : ?args:(string * string) list -> string -> unit
+(** Record a ['B'] (duration-begin) event on the calling domain. *)
+
+val end_ : ?args:(string * string) list -> string -> unit
+(** Record the matching ['E'] (duration-end) event. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** Record an ['i'] (instant, thread-scoped) event. *)
+
+val events : unit -> event list
+(** All recorded events, merged across domains and sorted by
+    timestamp. *)
+
+val dropped : unit -> int
+(** Events discarded because a domain's buffer was full. *)
+
+val clear : unit -> unit
+(** Discard every buffer (all domains) and zero the drop counts. *)
+
+val export : unit -> Json.t
+(** The merged events as a Chrome [trace_event] JSON array — objects
+    with [name]/[cat]/[ph]/[ts] (microseconds)/[pid]/[tid], [s = "t"]
+    on instants, and an [args] object when arguments were attached.
+    Loadable directly in Perfetto / [chrome://tracing]. *)
+
+val meta : unit -> Json.t
+(** [{"enabled": .., "events": .., "dropped": .., "domains": ..}] —
+    the [trace_meta] section of BENCH_v1 reports. *)

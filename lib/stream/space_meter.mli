@@ -25,6 +25,19 @@ val current : t -> int
 val peak : t -> int
 (** Highest value [current] ever reached. *)
 
+val pass_peak : t -> int
+(** Highest value [current] reached since the last {!checkpoint} (or
+    since creation/{!reset}). *)
+
+val checkpoint : t -> int
+(** [checkpoint t] closes the current accounting pass: it returns the
+    peak reached since the previous checkpoint and restarts the
+    per-pass high-water mark at the {e current} holding (space carried
+    across the boundary is charged to the next pass too).  Multi-pass
+    algorithms call this at pass boundaries so reports show per-pass
+    peaks rather than lifetime peaks; the lifetime {!peak} equals the
+    maximum over all per-pass peaks. *)
+
 val reset : t -> unit
 
 val merge_peaks : t list -> int

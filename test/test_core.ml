@@ -589,6 +589,43 @@ let test_ra_memory_is_metered () =
   check_bool "meter saw retained edges" true (Wm_stream.Space_meter.peak meter > 0);
   check_bool "far below m" true (Wm_stream.Space_meter.peak meter < G.m g)
 
+(* The resource-ledger audit of Thm 3.14: for a single run against a
+   fresh meter, the lifetime meter peak must equal the max over the
+   per-pass [peak_words] rows recorded in the "core.random_arrival"
+   ledger section (the prefix row at the cut, the suffix row at
+   finalize). *)
+let test_ra_ledger_matches_meter_peak () =
+  let grng = P.create 155 in
+  let g = Gen.gnp grng ~n:130 ~p:0.15 ~weights:(Gen.Uniform (1, 40)) in
+  let meter = Wm_stream.Space_meter.create () in
+  let ledger = Wm_obs.Ledger.default in
+  Wm_obs.Ledger.reset ledger;
+  let s = ES.of_graph ~order:(ES.Random (P.create 156)) g in
+  ignore (RA.run ~meter ~rng:(P.create 157) s);
+  let rows = Wm_obs.Ledger.rows ledger "core.random_arrival" in
+  check_bool "one prefix + one suffix row" true (List.length rows = 2);
+  let peaks =
+    List.map
+      (fun r ->
+        match List.assoc_opt "peak_words" r.Wm_obs.Ledger.fields with
+        | Some p -> p
+        | None -> Alcotest.fail "row lacks peak_words")
+      rows
+  in
+  check "ledger max = lifetime meter peak"
+    (Wm_stream.Space_meter.peak meter)
+    (List.fold_left Stdlib.max 0 peaks);
+  (match rows with
+  | [ prefix; suffix ] ->
+      check_bool "labels" true
+        (prefix.Wm_obs.Ledger.label = Some "prefix"
+        && suffix.Wm_obs.Ledger.label = Some "suffix");
+      (* The suffix row reports the retained T-set size. *)
+      check_bool "suffix counts T edges" true
+        (List.mem_assoc "t_edges" suffix.Wm_obs.Ledger.fields)
+  | _ -> Alcotest.fail "unexpected row shape");
+  Wm_obs.Ledger.reset ledger
+
 let test_ra_tiny_stream () =
   let g = Gen.path_graph [ 5 ] in
   let s = ES.of_graph g in
@@ -1048,6 +1085,8 @@ let () =
           Alcotest.test_case "valid output" `Quick test_ra_valid_output;
           Alcotest.test_case "beats half" `Quick test_ra_beats_half_on_average;
           Alcotest.test_case "memory metered" `Quick test_ra_memory_is_metered;
+          Alcotest.test_case "ledger matches meter peak" `Quick
+            test_ra_ledger_matches_meter_peak;
           Alcotest.test_case "tiny stream" `Quick test_ra_tiny_stream;
         ] );
       ( "aug_class",

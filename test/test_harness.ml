@@ -39,6 +39,116 @@ let test_cells () =
   Alcotest.(check string) "float cell" "0.1235" (R.cell_f 0.12349);
   Alcotest.(check string) "int cell" "42" (R.cell_i 42)
 
+(* ------------------------------------------------------------------ *)
+(* Bench_diff: the regression gate's comparison logic. *)
+
+module D = Wm_harness.Bench_diff
+module J = Wm_obs.Json
+
+(* A minimal BENCH_v1 report with one micro estimate and a few obs
+   counters; [scale] multiplies the candidate-side values under test. *)
+let report ?(ns = 1000.0) ?(space = 500) ?(work = 100) () =
+  J.Obj
+    [
+      ("schema", J.Str "BENCH_v1");
+      ( "micro",
+        J.List
+          [
+            J.Obj
+              [ ("name", J.Str "T1:kernel"); ("ns_per_run", J.Float ns) ];
+          ] );
+      ( "obs",
+        J.Obj
+          [
+            ( "counters",
+              J.Obj
+                [
+                  ("space.peak_max", J.Int space);
+                  ("core.wap.fed", J.Int work);
+                  ("tiny.count", J.Int 3);
+                ] );
+          ] );
+    ]
+
+let findings ?thresholds ~base ~cand () =
+  match D.compare_reports ?thresholds ~base cand with
+  | Ok fs -> fs
+  | Error e -> Alcotest.fail e
+
+let test_diff_identical_passes () =
+  let r = report () in
+  let fs = findings ~base:r ~cand:r () in
+  check_bool "no regression on self-diff" false (D.has_regression fs);
+  (* tiny.count (baseline 3 < min_counter_base 16) is skipped. *)
+  check "metrics compared" 3 (List.length fs);
+  check_bool "all ok" true (List.for_all (fun f -> f.D.verdict = D.Ok) fs)
+
+let test_diff_ns_regression_trips () =
+  (* The acceptance check: an injected 2x ns/run regression must trip
+     the gate (default ns threshold is +50%). *)
+  let fs =
+    findings ~base:(report ~ns:1000.0 ()) ~cand:(report ~ns:2000.0 ()) ()
+  in
+  check_bool "2x ns/run regresses" true (D.has_regression fs);
+  (match List.find_opt (fun f -> f.D.metric = "micro:T1:kernel") fs with
+  | Some f ->
+      check_bool "verdict" true (f.D.verdict = D.Regression);
+      Alcotest.(check (float 1e-9)) "rel" 1.0 f.D.rel
+  | None -> Alcotest.fail "micro metric missing");
+  (* +40% stays under the default 50% threshold. *)
+  let fs =
+    findings ~base:(report ~ns:1000.0 ()) ~cand:(report ~ns:1400.0 ()) ()
+  in
+  check_bool "+40%% ns within threshold" false (D.has_regression fs)
+
+let test_diff_space_regression_trips () =
+  (* space.* counters use the tight 10% threshold. *)
+  let fs =
+    findings ~base:(report ~space:500 ()) ~cand:(report ~space:600 ()) ()
+  in
+  check_bool "+20%% space regresses" true (D.has_regression fs);
+  let fs =
+    findings ~base:(report ~space:500 ()) ~cand:(report ~space:520 ()) ()
+  in
+  check_bool "+4%% space ok" false (D.has_regression fs)
+
+let test_diff_improvement_passes () =
+  let fs =
+    findings
+      ~base:(report ~ns:2000.0 ~space:600 ~work:200 ())
+      ~cand:(report ~ns:500.0 ~space:300 ~work:80 ())
+      ()
+  in
+  check_bool "improvements never trip the gate" false (D.has_regression fs);
+  check_bool "classified as improvements" true
+    (List.exists (fun f -> f.D.verdict = D.Improvement) fs)
+
+let test_diff_custom_thresholds () =
+  let thresholds = { D.default_thresholds with D.ns = 0.1 } in
+  let fs =
+    findings ~thresholds ~base:(report ~ns:1000.0 ())
+      ~cand:(report ~ns:1200.0 ()) ()
+  in
+  check_bool "tightened ns threshold trips at +20%%" true
+    (D.has_regression fs)
+
+let test_diff_rejects_non_bench () =
+  match D.compare_reports ~base:(J.Obj []) (report ()) with
+  | Ok _ -> Alcotest.fail "accepted a schema-less report"
+  | Error _ -> ()
+
+let test_diff_render_marks_regressions () =
+  let fs =
+    findings ~base:(report ~ns:1000.0 ()) ~cand:(report ~ns:3000.0 ()) ()
+  in
+  let text = D.render fs in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "REGRESSION in output" true (contains text "REGRESSION")
+
 let () =
   Alcotest.run "wm_harness"
     [
@@ -53,5 +163,22 @@ let () =
         [
           Alcotest.test_case "statistics" `Quick test_mean_and_stddev;
           Alcotest.test_case "cells" `Quick test_cells;
+        ] );
+      ( "bench_diff",
+        [
+          Alcotest.test_case "identical reports pass" `Quick
+            test_diff_identical_passes;
+          Alcotest.test_case "2x ns/run trips" `Quick
+            test_diff_ns_regression_trips;
+          Alcotest.test_case "space threshold is tight" `Quick
+            test_diff_space_regression_trips;
+          Alcotest.test_case "improvements pass" `Quick
+            test_diff_improvement_passes;
+          Alcotest.test_case "custom thresholds" `Quick
+            test_diff_custom_thresholds;
+          Alcotest.test_case "rejects non-BENCH_v1" `Quick
+            test_diff_rejects_non_bench;
+          Alcotest.test_case "render marks regressions" `Quick
+            test_diff_render_marks_regressions;
         ] );
     ]

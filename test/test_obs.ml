@@ -151,6 +151,258 @@ let test_reset_preserves_handles () =
   check "still wired" 1 (Obs.counter_value reg "kept")
 
 (* ------------------------------------------------------------------ *)
+(* Name hygiene *)
+
+let test_name_hygiene () =
+  let reg = Obs.create () in
+  let expect fn f =
+    match f () with
+    | _ -> Alcotest.fail (fn ^ " accepted a '/' name")
+    | exception Invalid_argument _ -> ()
+  in
+  expect "counter" (fun () -> Obs.counter reg "a/b");
+  expect "histogram" (fun () -> Obs.histogram reg "a/b");
+  expect "gauge" (fun () -> Obs.gauge reg "a/b" (fun () -> 0));
+  expect "span_open" (fun () -> Obs.span_open reg "a/b");
+  (* Dots remain the blessed namespace separator. *)
+  ignore (Obs.counter reg "a.b")
+
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+let test_histogram_basics () =
+  let reg = Obs.create () in
+  let h = Obs.histogram reg "h" in
+  check "empty count" 0 (Obs.hist_count h);
+  Alcotest.(check (float 0.0)) "empty percentile" 0.0 (Obs.percentile h 0.5);
+  List.iter (Obs.observe h) [ 1; 2; 3; 4; 100 ];
+  check "count" 5 (Obs.hist_count h);
+  check "sum" 110 (Obs.hist_sum h);
+  let h2 = Obs.histogram reg "h" in
+  Obs.observe h2 7;
+  check "interned" 6 (Obs.hist_count h)
+
+let test_histogram_percentiles () =
+  let reg = Obs.create () in
+  let h = Obs.histogram reg "p" in
+  (* 100 observations of 10: every percentile is pinned to 10 by the
+     min/max clamp regardless of bucket interpolation. *)
+  for _ = 1 to 100 do
+    Obs.observe h 10
+  done;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "p%.0f of constant" (100.0 *. p))
+        10.0 (Obs.percentile h p))
+    [ 0.5; 0.9; 0.99 ];
+  (* A heavy tail moves p99 above p50, and ordering holds. *)
+  let t = Obs.histogram reg "tail" in
+  for _ = 1 to 99 do
+    Obs.observe t 8
+  done;
+  Obs.observe t 100_000;
+  let p50 = Obs.percentile t 0.5
+  and p99 = Obs.percentile t 0.99
+  and p100 = Obs.percentile t 1.0 in
+  check_bool "p50 <= p99" true (p50 <= p99);
+  check_bool "p100 hits max" true (p100 = 100_000.0);
+  check_bool "p50 near mode" true (p50 >= 4.0 && p50 <= 16.0)
+
+let test_histogram_order_invariant () =
+  (* Same multiset of observations, different orders and domain
+     layouts: snapshots must be identical (atomic buckets commute). *)
+  let snapshot observe_all =
+    let reg = Obs.create () in
+    let h = Obs.histogram reg "inv" in
+    observe_all h;
+    J.to_string (Obs.to_json reg)
+  in
+  let values = List.init 1000 (fun i -> (i * 37 mod 257) + 1) in
+  let forward = snapshot (fun h -> List.iter (Obs.observe h) values) in
+  let backward =
+    snapshot (fun h -> List.iter (Obs.observe h) (List.rev values))
+  in
+  let sharded =
+    snapshot (fun h ->
+        let workers =
+          List.init 4 (fun d ->
+              Domain.spawn (fun () ->
+                  List.iteri
+                    (fun i v -> if i mod 4 = d then Obs.observe h v)
+                    values))
+        in
+        List.iter Domain.join workers)
+  in
+  check_str "reversed order" forward backward;
+  check_str "four domains" forward sharded
+
+let test_histogram_snapshot_shape () =
+  let reg = Obs.create () in
+  let h = Obs.histogram reg "shape" in
+  List.iter (Obs.observe h) [ 1; 1; 2; 900 ];
+  match J.member "histograms" (Obs.to_json reg) with
+  | Some (J.Obj [ ("shape", J.Obj fields) ]) ->
+      check_bool "count" true (List.assoc "count" fields = J.Int 4);
+      check_bool "sum" true (List.assoc "sum" fields = J.Int 904);
+      check_bool "min" true (List.assoc "min" fields = J.Int 1);
+      check_bool "max" true (List.assoc "max" fields = J.Int 900);
+      (match List.assoc "buckets" fields with
+      | J.List buckets ->
+          let total =
+            List.fold_left
+              (fun acc b ->
+                match b with
+                | J.List [ J.Int _lo; J.Int c ] -> acc + c
+                | _ -> Alcotest.fail "malformed bucket")
+              0 buckets
+          in
+          check "bucket sum = count" 4 total
+      | _ -> Alcotest.fail "no buckets");
+      check_bool "has p50" true (List.mem_assoc "p50" fields)
+  | _ -> Alcotest.fail "histograms not in snapshot"
+
+let test_timer_percentiles_in_snapshot () =
+  let reg = Obs.create () in
+  for _ = 1 to 5 do
+    Obs.with_span reg "work" (fun () -> ignore (Sys.opaque_identity 1))
+  done;
+  match J.member "timers" (Obs.to_json reg) with
+  | Some (J.Obj [ ("work", J.Obj fields) ]) ->
+      List.iter
+        (fun k ->
+          check_bool k true (List.mem_assoc k fields))
+        [ "count"; "total_ns"; "p50_ns"; "p90_ns"; "p99_ns" ]
+  | _ -> Alcotest.fail "no timers object"
+
+(* ------------------------------------------------------------------ *)
+(* Root-path spans *)
+
+let test_with_span_root_ignores_ambient () =
+  let reg = Obs.create () in
+  Obs.span_open reg "ambient";
+  Obs.with_span_root reg "root/fixed" (fun () -> ());
+  Obs.span_close reg;
+  check "recorded under exact path" 1 (Obs.span_count reg "root/fixed");
+  check "not nested under ambient" 0 (Obs.span_count reg "ambient/root/fixed");
+  (* Nested spans opened inside a root span chain off the root path. *)
+  Obs.with_span_root reg "root/fixed" (fun () ->
+      Obs.with_span reg "child" (fun () -> ()));
+  check "child under root path" 1 (Obs.span_count reg "root/fixed/child")
+
+(* ------------------------------------------------------------------ *)
+(* Trace sink *)
+
+module Trace = Wm_obs.Trace
+
+let test_trace_disabled_noop () =
+  Trace.clear ();
+  Alcotest.(check bool) "off by default" false (Trace.enabled ());
+  Trace.begin_ "x";
+  Trace.end_ "x";
+  Trace.instant "y";
+  check "nothing recorded" 0 (List.length (Trace.events ()))
+
+let test_trace_records_and_pairs () =
+  Trace.clear ();
+  Trace.set_enabled true;
+  Trace.begin_ "outer";
+  Trace.instant ~args:[ ("k", "v") ] "tick";
+  Trace.end_ "outer";
+  Trace.set_enabled false;
+  let evs = Trace.events () in
+  check "three events" 3 (List.length evs);
+  (match evs with
+  | [ b; i; e ] ->
+      check_bool "B first" true (b.Trace.ph = 'B' && b.Trace.name = "outer");
+      check_bool "instant args" true
+        (i.Trace.ph = 'i' && i.Trace.args = [ ("k", "v") ]);
+      check_bool "E last" true (e.Trace.ph = 'E');
+      check_bool "timestamps sorted" true
+        (b.Trace.ts_ns <= i.Trace.ts_ns && i.Trace.ts_ns <= e.Trace.ts_ns)
+  | _ -> Alcotest.fail "wrong shape");
+  (* Export is a JSON array of objects with the Chrome fields. *)
+  (match Trace.export () with
+  | J.List (J.Obj first :: _ as items) ->
+      check "exported all" 3 (List.length items);
+      List.iter
+        (fun k -> check_bool k true (List.mem_assoc k first))
+        [ "name"; "ph"; "ts"; "pid"; "tid" ]
+  | _ -> Alcotest.fail "export not a list of objects");
+  Trace.clear ();
+  check "clear empties" 0 (List.length (Trace.events ()))
+
+let test_trace_spans_emit_events () =
+  Trace.clear ();
+  Trace.set_enabled true;
+  let reg = Obs.create () in
+  Obs.with_span reg "traced" (fun () -> ());
+  Trace.set_enabled false;
+  let evs = Trace.events () in
+  check "B + E from one span" 2 (List.length evs);
+  (match evs with
+  | [ b; e ] ->
+      check_bool "names match span" true
+        (b.Trace.name = "traced" && e.Trace.name = "traced");
+      check_bool "phases" true (b.Trace.ph = 'B' && e.Trace.ph = 'E')
+  | _ -> Alcotest.fail "wrong shape");
+  Trace.clear ()
+
+let test_trace_bounded_drops () =
+  Trace.clear ();
+  Trace.set_capacity 8;
+  Trace.set_enabled true;
+  for _ = 1 to 20 do
+    Trace.instant "spam"
+  done;
+  Trace.set_enabled false;
+  check "capped at capacity" 8 (List.length (Trace.events ()));
+  check "drops counted" 12 (Trace.dropped ());
+  Trace.clear ();
+  Trace.set_capacity 65_536
+
+(* ------------------------------------------------------------------ *)
+(* Ledger *)
+
+module Ledger = Wm_obs.Ledger
+
+let test_ledger_rows_and_sections () =
+  let l = Ledger.create () in
+  Ledger.record l ~section:"b" [ ("x", 1) ];
+  Ledger.record ~label:"p0" l ~section:"a" [ ("words", 10); ("edges", 3) ];
+  Ledger.record ~label:"p1" l ~section:"a" [ ("words", 7) ];
+  Alcotest.(check (list string))
+    "first-seen section order" [ "b"; "a" ] (Ledger.sections l);
+  (match Ledger.rows l "a" with
+  | [ r0; r1 ] ->
+      check_bool "labels in order" true
+        (r0.Ledger.label = Some "p0" && r1.Ledger.label = Some "p1");
+      check_bool "fields kept" true
+        (r0.Ledger.fields = [ ("words", 10); ("edges", 3) ])
+  | _ -> Alcotest.fail "wrong row count");
+  check "unknown section empty" 0 (List.length (Ledger.rows l "zzz"));
+  (match Ledger.to_json l with
+  | J.Obj [ ("b", J.List _); ("a", J.List (J.Obj fields :: _)) ] ->
+      check_bool "label serialised" true
+        (List.assoc "label" fields = J.Str "p0")
+  | _ -> Alcotest.fail "to_json shape");
+  Ledger.reset l;
+  check "reset drops sections" 0 (List.length (Ledger.sections l))
+
+let test_ledger_concurrent () =
+  let l = Ledger.create () in
+  let per_domain = 1000 in
+  let workers =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Ledger.record l ~section:"par" [ ("d", d); ("i", i) ]
+            done))
+  in
+  List.iter Domain.join workers;
+  check "no lost rows" (4 * per_domain) (List.length (Ledger.rows l "par"))
+
+(* ------------------------------------------------------------------ *)
 (* JSON parser *)
 
 let test_json_parse_accepts () =
@@ -229,6 +481,42 @@ let () =
             test_to_json_round_trip;
           Alcotest.test_case "reset preserves handles" `Quick
             test_reset_preserves_handles;
+        ] );
+      ( "hygiene",
+        [ Alcotest.test_case "names reject '/'" `Quick test_name_hygiene ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "order/domain invariant" `Quick
+            test_histogram_order_invariant;
+          Alcotest.test_case "snapshot shape" `Quick
+            test_histogram_snapshot_shape;
+          Alcotest.test_case "timer percentiles in snapshot" `Quick
+            test_timer_percentiles_in_snapshot;
+        ] );
+      ( "root spans",
+        [
+          Alcotest.test_case "with_span_root ignores ambient stack" `Quick
+            test_with_span_root_ignores_ambient;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_trace_disabled_noop;
+          Alcotest.test_case "records and pairs B/E" `Quick
+            test_trace_records_and_pairs;
+          Alcotest.test_case "spans emit events" `Quick
+            test_trace_spans_emit_events;
+          Alcotest.test_case "bounded buffer drops" `Quick
+            test_trace_bounded_drops;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "rows and sections" `Quick
+            test_ledger_rows_and_sections;
+          Alcotest.test_case "concurrent records" `Quick
+            test_ledger_concurrent;
         ] );
       ( "json",
         [

@@ -195,6 +195,81 @@ let test_seed_sweep_order () =
       let seq = List.map f seeds in
       check_bool "per-seed results order-stable" true (par = seq))
 
+(* The observability snapshot must be a pure function of the work, not
+   of the domain layout: counters and value histograms recorded through
+   Obs.default during a Main_alg solve are byte-identical at jobs=1 and
+   jobs=4 (atomic buckets commute; root-path spans pin attribution).
+   Timers are excluded — they hold wall-clock data. *)
+let test_obs_snapshot_jobs_invariant () =
+  let module Obs = Wm_obs.Obs in
+  let module J = Wm_obs.Json in
+  let params = Wm_core.Params.practical ~epsilon:0.15 () in
+  let seed = 7777 in
+  let g = t3_workload seed in
+  let snapshot jobs =
+    Pool.set_default_jobs jobs;
+    Obs.reset Obs.default;
+    ignore (Wm_core.Main_alg.solve ~patience:2 params (P.create seed) g);
+    let json = Obs.to_json Obs.default in
+    let section k =
+      match J.member k json with
+      | Some j -> J.to_string j
+      | None -> Alcotest.fail ("snapshot lacks " ^ k)
+    in
+    (section "counters", section "histograms")
+  in
+  let saved = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_default_jobs saved;
+      Obs.reset Obs.default)
+    (fun () ->
+      let c1, h1 = snapshot 1 in
+      let c4, h4 = snapshot 4 in
+      Alcotest.(check string) "counters jobs=1 vs 4" c1 c4;
+      Alcotest.(check string) "histograms jobs=1 vs 4" h1 h4;
+      check_bool "histograms non-trivial" true (h1 <> "{}"))
+
+(* Span durations recorded from pool workers land in the same timer
+   paths as at jobs=1: per-scale round spans and per-pair spans are
+   opened with with_span_root, so the path set (though not the
+   durations) is jobs-invariant. *)
+let test_span_paths_jobs_invariant () =
+  let module Obs = Wm_obs.Obs in
+  let module J = Wm_obs.Json in
+  let params = Wm_core.Params.practical ~epsilon:0.15 () in
+  let seed = 8888 in
+  let g = t1_workload seed in
+  let timer_paths jobs =
+    Pool.set_default_jobs jobs;
+    Obs.reset Obs.default;
+    ignore (Wm_core.Main_alg.solve ~patience:2 params (P.create seed) g);
+    match J.member "timers" (Obs.to_json Obs.default) with
+    | Some (J.Obj fields) ->
+        List.filter_map
+          (fun (path, v) ->
+            match J.member "count" v with
+            | Some (J.Int c) -> Some (path, c)
+            | _ -> None)
+          fields
+    | _ -> Alcotest.fail "no timers in snapshot"
+  in
+  let saved = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_default_jobs saved;
+      Obs.reset Obs.default)
+    (fun () ->
+      let p1 = timer_paths 1 in
+      let p4 = timer_paths 4 in
+      check_bool "same span paths and counts" true (p1 = p4);
+      check_bool "per-scale spans attributed" true
+        (List.exists
+           (fun (path, _) ->
+             String.length path >= 20
+             && String.sub path 0 20 = "core.main_alg.round/")
+           p1))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -228,5 +303,9 @@ let () =
           Alcotest.test_case "F6 workload jobs=1 vs 4" `Slow
             test_determinism_f6;
           Alcotest.test_case "seed sweep order" `Slow test_seed_sweep_order;
+          Alcotest.test_case "obs snapshot jobs=1 vs 4" `Slow
+            test_obs_snapshot_jobs_invariant;
+          Alcotest.test_case "span paths jobs=1 vs 4" `Slow
+            test_span_paths_jobs_invariant;
         ] );
     ]

@@ -129,6 +129,42 @@ let test_meter_reset () =
   check "current" 0 (Meter.current m);
   check "peak" 0 (Meter.peak m)
 
+(* Per-pass checkpointing: each checkpoint returns the high-water mark
+   since the previous one, resetting to the *current* level (not zero),
+   so the lifetime peak is the max over per-pass peaks. *)
+let test_meter_checkpoint () =
+  let m = Meter.create () in
+  Meter.retain m 10;
+  Meter.release m 4;
+  check "pass 1 peak" 10 (Meter.checkpoint m);
+  (* Second pass never exceeds the carried-over level of 6. *)
+  Meter.release m 3;
+  check "pass 2 peak = carried level" 6 (Meter.checkpoint m);
+  Meter.retain m 20;
+  check "pass 3 peak" 23 (Meter.checkpoint m);
+  check "lifetime peak = max of pass peaks" 23 (Meter.peak m);
+  Meter.reset m;
+  check "reset clears pass peak" 0 (Meter.checkpoint m)
+
+let test_meter_checkpoint_invariant () =
+  (* Against a random retain/release/checkpoint trace, lifetime peak
+     equals the max over per-pass peaks (the Thm 3.14 audit relies on
+     this). *)
+  let m = Meter.create () in
+  let rng = P.create 99 in
+  let pass_peaks = ref [] in
+  for _ = 1 to 200 do
+    (match P.int rng 3 with
+    | 0 -> Meter.retain m (1 + P.int rng 50)
+    | 1 ->
+        let c = Meter.current m in
+        if c > 0 then Meter.release m (1 + P.int rng c)
+    | _ -> pass_peaks := Meter.checkpoint m :: !pass_peaks)
+  done;
+  pass_peaks := Meter.checkpoint m :: !pass_peaks;
+  check "peak = max over checkpoints" (Meter.peak m)
+    (List.fold_left Stdlib.max 0 !pass_peaks)
+
 let test_meter_merge () =
   let a = Meter.create () and b = Meter.create () in
   Meter.retain a 3;
@@ -173,6 +209,9 @@ let () =
           Alcotest.test_case "below zero" `Quick test_meter_release_below_zero;
           Alcotest.test_case "set current" `Quick test_meter_set_current;
           Alcotest.test_case "reset" `Quick test_meter_reset;
+          Alcotest.test_case "checkpoint" `Quick test_meter_checkpoint;
+          Alcotest.test_case "checkpoint invariant" `Quick
+            test_meter_checkpoint_invariant;
           Alcotest.test_case "merge" `Quick test_meter_merge;
         ] );
       ( "properties",
