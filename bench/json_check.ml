@@ -163,6 +163,28 @@ let () =
           | _ -> fail "%s: ledger section %s is not a list" path name)
         sections
   | _ -> fail "%s: missing \"ledger\" section" path);
+  (* Fault-injection summary: present even for fault-free runs ("none"
+     spec, all-zero tallies); every tally a non-negative int. *)
+  (match J.member "faults" json with
+  | Some f -> (
+      (match J.member "spec" f with
+      | Some (J.Str _) -> ()
+      | _ -> fail "%s: faults block lacks \"spec\" string" path);
+      List.iter
+        (fun part ->
+          match J.member part f with
+          | Some (J.Obj fields) ->
+              List.iter
+                (fun (k, v) ->
+                  match v with
+                  | J.Int n when n >= 0 -> ()
+                  | _ ->
+                      fail "%s: faults.%s.%s is not a non-negative int" path
+                        part k)
+                fields
+          | _ -> fail "%s: faults block lacks \"%s\" object" path part)
+        [ "injected"; "recovery" ])
+  | None -> fail "%s: missing \"faults\" block" path);
   (* Trace metadata: present even when tracing was off. *)
   (match J.member "trace_meta" json with
   | Some meta -> (

@@ -184,6 +184,7 @@ let write_report ~path ~quick ~seed ~jobs ~trace_path ~sections ~micro =
         ("obs", obs_json);
         ("histograms", histograms);
         ("ledger", Wm_obs.Ledger.to_json Wm_obs.Ledger.default);
+        ("faults", Wm_fault.Recovery.report_json ());
         ("trace_meta", trace_meta);
       ]
   in
@@ -197,6 +198,7 @@ let () =
   let json_path = ref "" in
   let trace_path = ref "" in
   let jobs = ref 0 in
+  let faults = ref "" in
   let args =
     [
       ("--full", Arg.Set full, "full-size experiments (slower)");
@@ -213,15 +215,26 @@ let () =
         "worker domains for the parallel substrate (default: \
          recommended_domain_count, capped at 8; results are identical at \
          any setting)" );
+      ( "--faults",
+        Arg.Set_string faults,
+        "fault-injection SPEC (e.g. seed=7,crash=0.05,drop=0.01; default \
+         none) applied to every experiment; injections and recoveries land \
+         in the report's \"faults\" block" );
     ]
   in
   let usage =
     "bench/main.exe [--full] [--only IDS] [--seed N] [--no-micro] [--json \
-     PATH] [--trace PATH] [--jobs N]"
+     PATH] [--trace PATH] [--jobs N] [--faults SPEC]"
   in
   Arg.parse args
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     usage;
+  (if !faults <> "" then
+     match Wm_fault.Spec.parse !faults with
+     | Ok spec -> Wm_fault.Spec.set_default spec
+     | Error msg ->
+         Printf.eprintf "%s: --faults: %s\n" Sys.argv.(0) msg;
+         exit 2);
   let quick = not !full in
   let jobs =
     if !jobs <= 0 then Wm_par.Pool.recommended_jobs () else !jobs

@@ -13,6 +13,48 @@ module Gen = Wm_graph.Gen
 module ES = Wm_stream.Edge_stream
 
 (* ------------------------------------------------------------------ *)
+(* Error discipline: user errors become one-line stderr messages with
+   distinct exit codes instead of leaked exceptions/backtraces.
+   2 = usage (bad flags / bad --faults spec), 3 = bad input (missing or
+   malformed instance file), 4 = fault budget exhausted. *)
+
+let exit_usage = 2
+let exit_bad_input = 3
+let exit_fault_budget = 4
+
+let guard f =
+  try f () with
+  | Wm_graph.Graph_io.Parse_error { line; msg } ->
+      Printf.eprintf "wm_cli: input line %d: %s\n" line msg;
+      exit_bad_input
+  | Sys_error msg ->
+      Printf.eprintf "wm_cli: %s\n" msg;
+      exit_bad_input
+  | Invalid_argument msg ->
+      Printf.eprintf "wm_cli: invalid input: %s\n" msg;
+      exit_bad_input
+  | Wm_fault.Injector.Budget_exhausted { site; attempts } ->
+      Printf.eprintf "wm_cli: fault budget exhausted at %s after %d attempts\n"
+        site attempts;
+      exit_fault_budget
+  | Wm_mpc.Cluster.Memory_exceeded { machine; used; capacity } ->
+      Printf.eprintf "wm_cli: machine %d exceeded memory (%d > %d words)\n"
+        machine used capacity;
+      1
+
+(* Parse the [--faults] spec, install it as the process-wide default
+   (clusters, streams and drivers created without an explicit spec pick
+   it up), and run the guarded command body. *)
+let with_faults spec_str k =
+  match Wm_fault.Spec.parse spec_str with
+  | Error msg ->
+      Printf.eprintf "wm_cli: --faults: %s\n" msg;
+      exit_usage
+  | Ok spec ->
+      Wm_fault.Spec.set_default spec;
+      guard k
+
+(* ------------------------------------------------------------------ *)
 (* Instance construction *)
 
 (* Worker-domain count for the parallel substrate.  0 means "auto"
@@ -136,7 +178,7 @@ let execute ~verbose ~family ~n ~density ~weights ~seed ~algo ~epsilon ~input =
         let params = Wm_core.Params.practical ~epsilon () in
         let machines = Stdlib.max 2 (G.m g / Stdlib.max 1 (G.n g)) in
         let memory_words = 16 * G.n g * 10 in
-        let cluster = Wm_mpc.Cluster.create ~machines ~memory_words in
+        let cluster = Wm_mpc.Cluster.create ~machines ~memory_words () in
         let r = Wm_core.Model_driver.mpc params rng cluster g in
         if verbose then
           Printf.printf "rounds=%d peak-machine-memory=%d machines=%d\n"
@@ -186,9 +228,13 @@ let run_json ~g ~algo ~result =
            ] );
      ]
     @ opt_fields
-    @ [ ("obs", Wm_obs.Obs.to_json Wm_obs.Obs.default) ])
+    @ [
+        ("obs", Wm_obs.Obs.to_json Wm_obs.Obs.default);
+        ("faults", Wm_fault.Recovery.report_json ());
+      ])
 
-let run_solve family n density weights seed algo epsilon input jobs json =
+let run_solve family n density weights seed algo epsilon input jobs json faults =
+  with_faults faults @@ fun () ->
   set_jobs jobs;
   let g, result =
     execute ~verbose:true ~family ~n ~density ~weights ~seed ~algo ~epsilon
@@ -234,7 +280,8 @@ type stats_format = Fjson | Ftsv
 
 let format_conv = Cmdliner.Arg.enum [ ("json", Fjson); ("tsv", Ftsv) ]
 
-let run_stats family n density weights seed algo epsilon input jobs format =
+let run_stats family n density weights seed algo epsilon input jobs format faults =
+  with_faults faults @@ fun () ->
   set_jobs jobs;
   let g, result =
     execute ~verbose:false ~family ~n ~density ~weights ~seed ~algo ~epsilon
@@ -252,7 +299,8 @@ let run_stats family n density weights seed algo epsilon input jobs format =
 (* Like [solve], but with the trace sink enabled: spans and instants
    recorded during the run are written as a Chrome/Perfetto
    trace_event JSON array (load via https://ui.perfetto.dev). *)
-let run_trace family n density weights seed algo epsilon input jobs out =
+let run_trace family n density weights seed algo epsilon input jobs out faults =
+  with_faults faults @@ fun () ->
   set_jobs jobs;
   Wm_obs.Trace.set_enabled true;
   let g, result =
@@ -284,18 +332,24 @@ let run_trace family n density weights seed algo epsilon input jobs out =
 (* ------------------------------------------------------------------ *)
 (* Experiment commands *)
 
-let run_experiments ids quick seed jobs =
+let run_experiments ids quick seed jobs faults =
+  with_faults faults @@ fun () ->
   set_jobs jobs;
-  (match ids with
-  | [] -> Wm_harness.Experiments.run_all ~quick ~seed
+  match ids with
+  | [] ->
+      Wm_harness.Experiments.run_all ~quick ~seed;
+      0
   | ids ->
-      List.iter
-        (fun id ->
+      List.fold_left
+        (fun code id ->
           match Wm_harness.Experiments.find id with
-          | Some e -> e.Wm_harness.Experiments.run ~quick ~seed
-          | None -> Printf.eprintf "unknown experiment id: %s\n" id)
-        ids);
-  0
+          | Some e ->
+              e.Wm_harness.Experiments.run ~quick ~seed;
+              code
+          | None ->
+              Printf.eprintf "wm_cli: unknown experiment id: %s\n" id;
+              exit_usage)
+        0 ids
 
 let run_list () =
   List.iter
@@ -346,6 +400,19 @@ let input_t =
     & opt (some string) None
     & info [ "input" ] ~docv:"FILE" ~doc:"Read the instance from a DIMACS-style file instead of generating one.")
 
+let faults_t =
+  Arg.(
+    value
+    & opt string "none"
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault plan, e.g. \
+           $(b,seed=7,crash=0.05,straggle=0.02,drop=0.001,mem=0.05,attempts=6). \
+           Rates are per-event probabilities; crashed rounds are retried \
+           from checkpoints with the backoff billed to the model's \
+           round/pass meters.  $(b,none) (the default) disables \
+           injection.")
+
 let solve_cmd =
   let json_t =
     Arg.(
@@ -358,7 +425,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Generate (or load) an instance and run one algorithm")
     Term.(
       const run_solve $ family_t $ n_t $ density_t $ weights_t $ seed_t
-      $ algo_t $ eps_t $ input_t $ jobs_t $ json_t)
+      $ algo_t $ eps_t $ input_t $ jobs_t $ json_t $ faults_t)
 
 let stats_cmd =
   let format_t =
@@ -377,7 +444,7 @@ let stats_cmd =
              (result, approximation ratio, obs counters) on stdout")
     Term.(
       const run_stats $ family_t $ n_t $ density_t $ weights_t $ seed_t
-      $ algo_t $ eps_t $ input_t $ jobs_t $ format_t)
+      $ algo_t $ eps_t $ input_t $ jobs_t $ format_t $ faults_t)
 
 let trace_cmd =
   let out_t =
@@ -394,7 +461,7 @@ let trace_cmd =
              chrome://tracing)")
     Term.(
       const run_trace $ family_t $ n_t $ density_t $ weights_t $ seed_t
-      $ algo_t $ eps_t $ input_t $ jobs_t $ out_t)
+      $ algo_t $ eps_t $ input_t $ jobs_t $ out_t $ faults_t)
 
 let experiment_cmd =
   let ids_t =
@@ -406,8 +473,9 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the paper's tables and figures")
     Term.(
-      const (fun ids full seed jobs -> run_experiments ids (not full) seed jobs)
-      $ ids_t $ full_t $ seed_t $ jobs_t)
+      const (fun ids full seed jobs faults ->
+          run_experiments ids (not full) seed jobs faults)
+      $ ids_t $ full_t $ seed_t $ jobs_t $ faults_t)
 
 let gen_cmd =
   let out_t =
@@ -417,6 +485,7 @@ let gen_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
   in
   let run family n density weights seed out =
+    guard @@ fun () ->
     let g, _ = build_instance ~family ~n ~density ~weights ~seed in
     Wm_graph.Graph_io.write_file out g;
     Printf.printf "wrote %s: n=%d m=%d total-weight=%d\n" out (G.n g) (G.m g)
@@ -438,4 +507,7 @@ let main_cmd =
        ~doc:"Weighted matchings via unweighted augmentations (PODC 2019)")
     [ solve_cmd; stats_cmd; trace_cmd; gen_cmd; experiment_cmd; list_cmd ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* Cmdliner reports its own parse errors (unknown flags, bad enum
+   values) with exit 124; fold those into the usage-error code so
+   callers see one consistent contract. *)
+let () = exit (match Cmd.eval' main_cmd with 124 -> exit_usage | code -> code)

@@ -27,7 +27,7 @@ let () =
     machines memory_words;
 
   (* Baseline: distributed maximal matching by filtering. *)
-  let c1 = Wm_mpc.Cluster.create ~machines ~memory_words in
+  let c1 = Wm_mpc.Cluster.create ~machines ~memory_words () in
   let maximal = Wm_mpc.Mpc_matching.filtering_maximal c1 (P.create 12) g in
   Printf.printf "filtering maximal matching (LMSV11 baseline):\n";
   Printf.printf "  weight %d, %d rounds, peak machine load %d words\n\n"
@@ -36,7 +36,7 @@ let () =
 
   (* The paper's reduction: (1-eps)-approximate *weighted* matching. *)
   let params = Wm_core.Params.practical ~epsilon:0.15 () in
-  let c2 = Wm_mpc.Cluster.create ~machines ~memory_words:(memory_words * 8) in
+  let c2 = Wm_mpc.Cluster.create ~machines ~memory_words:(memory_words * 8) () in
   let r = Wm_core.Model_driver.mpc params (P.create 13) c2 g in
   Printf.printf "(1-eps) weighted matching (Theorem 1.2.1, eps=0.15):\n";
   Printf.printf "  weight %d, %d rounds charged (%d improvement iterations)\n"
@@ -59,7 +59,7 @@ let () =
   Printf.printf "\nmemory/rounds trade-off for filtering:\n";
   List.iter
     (fun words ->
-      let c = Wm_mpc.Cluster.create ~machines ~memory_words:words in
+      let c = Wm_mpc.Cluster.create ~machines ~memory_words:words () in
       match Wm_mpc.Mpc_matching.filtering_maximal c (P.create 12) g with
       | _ ->
           Printf.printf "  %6d words/machine -> %3d rounds\n" words

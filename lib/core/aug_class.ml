@@ -5,6 +5,9 @@ module M = Wm_graph.Matching
 type stats = {
   pairs_tried : int;
   layered_edges : int;
+  layered_edges_max : int;
+      (* largest single (W, tau)-pair layered graph — the peak
+         per-machine load of the class, not the average *)
   paths_found : int;
   black_box_calls : int;
   black_box_passes : int;
@@ -210,6 +213,7 @@ let run ?(span_path = "core.aug_class") params rng g m ~scale =
         {
           pairs_tried = s.pairs_tried + 1;
           layered_edges = s.layered_edges + e.pe_layered_edges;
+          layered_edges_max = Stdlib.max s.layered_edges_max e.pe_layered_edges;
           paths_found = s.paths_found + e.pe_paths;
           black_box_calls = s.black_box_calls + (if e.pe_black_box then 1 else 0);
           black_box_passes = Stdlib.max s.black_box_passes e.pe_passes;
@@ -217,6 +221,7 @@ let run ?(span_path = "core.aug_class") params rng g m ~scale =
       {
         pairs_tried = 0;
         layered_edges = 0;
+        layered_edges_max = 0;
         paths_found = 0;
         black_box_calls = 0;
         black_box_passes = 0;

@@ -11,6 +11,11 @@
 type stats = {
   pairs_tried : int;
   layered_edges : int;  (** total retained edges across layered graphs *)
+  layered_edges_max : int;
+      (** retained edges of the largest single [(W, tau)]-pair layered
+          graph — the peak per-machine load when each pair's instance is
+          placed on one MPC machine, which an average over pairs would
+          understate *)
   paths_found : int;  (** augmenting paths across all layered graphs *)
   black_box_calls : int;
   black_box_passes : int;

@@ -15,7 +15,22 @@
       capacity.
 
     See DESIGN.md (black-box accounting) for why charges are metered
-    rather than induced by a native streaming/MPC execution. *)
+    rather than induced by a native streaming/MPC execution.
+
+    {b Faults and recovery.}  Both drivers ride out injected faults
+    (DESIGN.md §"Fault model & recovery semantics").  Each improvement
+    round is bracketed by a checkpoint of the matching and the rng
+    position; a round that crashes (an {!Wm_fault.Injector.Injected_crash}
+    from the substrate or the driver's own fault points) is retried from
+    the checkpoint with exponential backoff billed to the model's
+    resource meter (MPC rounds / stream passes).  Because the retry
+    replays the round from copies of the checkpointed state, a run that
+    survives its fault plan commits exactly the fault-free sequence of
+    matchings — same final weight, more rounds/passes.  The streaming
+    driver additionally degrades gracefully: injected memory pressure
+    sheds the lowest-excess retained edges instead of aborting.  With no
+    active fault plan every hook short-circuits and both drivers are
+    byte-identical to their fault-free behaviour. *)
 
 type streaming_result = {
   matching : Wm_graph.Matching.t;
@@ -26,12 +41,19 @@ type streaming_result = {
 
 val streaming :
   ?patience:int ->
+  ?faults:Wm_fault.Injector.t ->
   Params.t ->
   Wm_graph.Prng.t ->
   Wm_stream.Edge_stream.t ->
   streaming_result
 (** Multi-pass streaming [(1 - eps)]-approximate weighted matching
-    (Theorem 1.2.2). *)
+    (Theorem 1.2.2).  [faults] (default: an injector over the
+    process-wide {!Wm_fault.Spec.default}) drives the driver-level fault
+    points: round crashes retried from per-round checkpoints (extra
+    passes billed), record faults applied at ingest (the ground-truth
+    graph is untouched), and memory-pressure shedding.  Raises
+    {!Wm_fault.Injector.Budget_exhausted} when a round crashes on every
+    retry attempt. *)
 
 type mpc_result = {
   matching : Wm_graph.Matching.t;
@@ -50,4 +72,14 @@ val mpc :
   mpc_result
 (** MPC [(1 - eps)]-approximate weighted matching (Theorem 1.2.1).
     Raises {!Wm_mpc.Cluster.Memory_exceeded} if a shard or broadcast
-    exceeds machine memory. *)
+    exceeds machine memory.  Faults come from the cluster's own
+    injector ({!Wm_mpc.Cluster.faults}): crashed rounds are retried
+    from replicated checkpoints with the backoff billed to the round
+    clock; {!Wm_fault.Injector.Budget_exhausted} is raised when the
+    retry budget runs out. *)
+
+val peak_instance_load : (float * Aug_class.stats) list -> int
+(** The largest single [(W, tau)]-pair layered graph across all scales
+    of one round — the per-machine load the MPC driver charges.  (A
+    per-class average here once understated skewed instances; see the
+    regression test.) *)

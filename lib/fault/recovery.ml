@@ -1,0 +1,73 @@
+module Obs = Wm_obs.Obs
+module Ledger = Wm_obs.Ledger
+module J = Wm_obs.Json
+
+let section = "core.recovery"
+let c_retries = Obs.counter Obs.default "fault.retries"
+let c_backoff_rounds = Obs.counter Obs.default "fault.backoff_rounds"
+let c_checkpoints = Obs.counter Obs.default "fault.checkpoints"
+let c_restores = Obs.counter Obs.default "fault.restores"
+let c_shed_edges = Obs.counter Obs.default "fault.shed_edges"
+let c_shed_weight = Obs.counter Obs.default "fault.shed_weight"
+let c_budget_exhausted = Obs.counter Obs.default "fault.budget_exhausted"
+
+let with_retry ~attempts ~site ~on_retry f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception Injector.Injected_crash _ ->
+        if attempt >= attempts then begin
+          Obs.incr c_budget_exhausted;
+          Ledger.record ~label:("budget_exhausted@" ^ site) Ledger.default
+            ~section
+            [ ("attempts", attempts) ];
+          raise (Injector.Budget_exhausted { site; attempts })
+        end
+        else begin
+          let backoff = 1 lsl (attempt - 1) in
+          Obs.incr c_retries;
+          Obs.add c_backoff_rounds backoff;
+          Ledger.record ~label:("retry@" ^ site) Ledger.default ~section
+            [ ("attempt", attempt); ("backoff", backoff) ];
+          on_retry ~attempt ~backoff;
+          go (attempt + 1)
+        end
+  in
+  go 1
+
+let note_checkpoint ~words ~at =
+  Obs.incr c_checkpoints;
+  Ledger.record ~label:"checkpoint" Ledger.default ~section
+    [ ("at", at); ("words", words) ]
+
+let note_restore ~words ~at =
+  Obs.incr c_restores;
+  Ledger.record ~label:"restore" Ledger.default ~section
+    [ ("at", at); ("words", words) ]
+
+let note_shed ~edges ~weight ~at =
+  Obs.add c_shed_edges edges;
+  Obs.add c_shed_weight weight;
+  Ledger.record ~label:"shed" Ledger.default ~section
+    [ ("at", at); ("edges", edges); ("weight", weight) ]
+
+let recovery_json () =
+  let v c = J.Int (Obs.value c) in
+  J.Obj
+    [
+      ("retries", v c_retries);
+      ("backoff_rounds", v c_backoff_rounds);
+      ("checkpoints", v c_checkpoints);
+      ("restores", v c_restores);
+      ("shed_edges", v c_shed_edges);
+      ("shed_weight", v c_shed_weight);
+      ("budget_exhausted", v c_budget_exhausted);
+    ]
+
+let report_json () =
+  J.Obj
+    [
+      ("spec", J.Str (Spec.to_string (Spec.default ())));
+      ("injected", Injector.injected_json ());
+      ("recovery", recovery_json ());
+    ]

@@ -1,0 +1,43 @@
+(** Recovery actions: bounded retry, checkpoint/restore accounting,
+    graceful degradation.
+
+    Every recovery action lands in the [core.recovery] ledger section
+    and bumps a [fault.*] counter, so the cost of riding out a fault
+    plan (extra rounds, restored checkpoints, shed edges) is auditable
+    next to the injected faults that caused it. *)
+
+val with_retry :
+  attempts:int ->
+  site:string ->
+  on_retry:(attempt:int -> backoff:int -> unit) ->
+  (unit -> 'a) ->
+  'a
+(** [with_retry ~attempts ~site ~on_retry f] runs [f], catching
+    {!Injector.Injected_crash}.  Attempt [k] that crashes (for
+    [k < attempts]) triggers [on_retry ~attempt:k ~backoff:(2^(k-1))] —
+    the caller bills the exponential backoff to its own resource meter
+    (MPC rounds, stream passes) — and retries.  When all [attempts]
+    crash, raises {!Injector.Budget_exhausted}.  Other exceptions pass
+    through untouched. *)
+
+val note_checkpoint : words:int -> at:int -> unit
+(** Record that a recovery checkpoint of [words] words was taken. *)
+
+val note_restore : words:int -> at:int -> unit
+(** Record that execution resumed from a checkpoint. *)
+
+val note_shed : edges:int -> weight:int -> at:int -> unit
+(** Record a graceful-degradation shed: [edges] matched edges totalling
+    [weight] dropped under injected memory pressure. *)
+
+val recovery_json : unit -> Wm_obs.Json.t
+(** Snapshot of the process-wide recovery counters ([fault.retries],
+    [fault.backoff_rounds], [fault.checkpoints], [fault.restores],
+    [fault.shed_edges], [fault.shed_weight],
+    [fault.budget_exhausted]). *)
+
+val report_json : unit -> Wm_obs.Json.t
+(** The BENCH_v1 [faults] block:
+    [{"spec": .., "injected": {..}, "recovery": {..}}], where [spec] is
+    the installed process-wide default ({!Spec.default}) in
+    {!Spec.to_string} form. *)

@@ -1,0 +1,105 @@
+type t = {
+  seed : int;
+  crash : float;
+  straggle : float;
+  drop : float;
+  dup : float;
+  corrupt : float;
+  mem : float;
+  max_attempts : int;
+}
+
+let none =
+  {
+    seed = 1;
+    crash = 0.0;
+    straggle = 0.0;
+    drop = 0.0;
+    dup = 0.0;
+    corrupt = 0.0;
+    mem = 0.0;
+    max_attempts = 6;
+  }
+
+let is_none t =
+  t.crash = 0.0 && t.straggle = 0.0 && t.drop = 0.0 && t.dup = 0.0
+  && t.corrupt = 0.0 && t.mem = 0.0
+
+let parse_rate key v =
+  match float_of_string_opt v with
+  | Some r when Float.is_finite r && r >= 0.0 && r <= 1.0 -> Ok r
+  | _ -> Error (Printf.sprintf "%s=%s: expected a rate in [0, 1]" key v)
+
+let parse s =
+  let s = String.trim s in
+  if s = "" || s = "none" then Ok none
+  else
+    let fields = String.split_on_char ',' s in
+    List.fold_left
+      (fun acc field ->
+        match acc with
+        | Error _ -> acc
+        | Ok t -> (
+            match String.index_opt field '=' with
+            | None ->
+                Error
+                  (Printf.sprintf "%s: expected key=value (keys: seed, \
+                                   crash, straggle, drop, dup, corrupt, \
+                                   mem, attempts)"
+                     field)
+            | Some i -> (
+                let key = String.trim (String.sub field 0 i) in
+                let v =
+                  String.trim
+                    (String.sub field (i + 1) (String.length field - i - 1))
+                in
+                match key with
+                | "seed" -> (
+                    match int_of_string_opt v with
+                    | Some seed -> Ok { t with seed }
+                    | None ->
+                        Error (Printf.sprintf "seed=%s: expected an integer" v))
+                | "attempts" -> (
+                    match int_of_string_opt v with
+                    | Some a when a >= 1 -> Ok { t with max_attempts = a }
+                    | _ ->
+                        Error
+                          (Printf.sprintf
+                             "attempts=%s: expected an integer >= 1" v))
+                | "crash" -> Result.map (fun r -> { t with crash = r }) (parse_rate key v)
+                | "straggle" ->
+                    Result.map (fun r -> { t with straggle = r }) (parse_rate key v)
+                | "drop" -> Result.map (fun r -> { t with drop = r }) (parse_rate key v)
+                | "dup" -> Result.map (fun r -> { t with dup = r }) (parse_rate key v)
+                | "corrupt" ->
+                    Result.map (fun r -> { t with corrupt = r }) (parse_rate key v)
+                | "mem" -> Result.map (fun r -> { t with mem = r }) (parse_rate key v)
+                | _ ->
+                    Error
+                      (Printf.sprintf "unknown key %s (expected seed, crash, \
+                                       straggle, drop, dup, corrupt, mem, \
+                                       attempts)"
+                         key))))
+      (Ok none) fields
+
+let to_string t =
+  if is_none t then "none"
+  else
+    let rate key r acc = if r > 0.0 then Printf.sprintf "%s=%g" key r :: acc else acc in
+    let parts =
+      [ Printf.sprintf "seed=%d" t.seed ]
+      @ List.rev
+          (rate "mem" t.mem
+             (rate "corrupt" t.corrupt
+                (rate "dup" t.dup
+                   (rate "drop" t.drop
+                      (rate "straggle" t.straggle (rate "crash" t.crash []))))))
+      @ [ Printf.sprintf "attempts=%d" t.max_attempts ]
+    in
+    String.concat "," parts
+
+(* The process-wide default.  Written once at startup (CLI flag
+   parsing) before any parallel work begins, then only read. *)
+let installed = ref none
+let set_default t = installed := t
+let default () = !installed

@@ -11,13 +11,39 @@ let to_string g =
 
 type header = { kind : string; n : int; count : int }
 
+exception Parse_error of { line : int; msg : string }
+
+let parse_fail line msg = raise (Parse_error { line; msg })
+
+(* Weight tokens get the most specific diagnostic we can produce: the
+   integer parse rejects NaN/infinity/fractional/overflowing tokens
+   alike, so classify via the float parse before giving up. *)
+let parse_weight fail w =
+  match int_of_string_opt w with
+  | Some value ->
+      if value < 0 then fail (Printf.sprintf "negative weight %d" value)
+      else value
+  | None -> (
+      match float_of_string_opt w with
+      | Some f when Float.is_nan f -> fail "NaN weight"
+      | Some f when not (Float.is_finite f) -> fail "infinite weight"
+      | Some _ ->
+          fail
+            (Printf.sprintf "weight %s is not representable as a \
+                             non-negative integer"
+               w)
+      | None -> fail (Printf.sprintf "bad weight %s" w))
+
 let parse_lines s =
   let header = ref None in
   let edges = ref [] in
+  let count = ref 0 in
+  let seen = Hashtbl.create 64 in
   let lines = String.split_on_char '\n' s in
+  let last_line = List.length lines in
   List.iteri
     (fun lineno line ->
-      let fail msg = failwith (Printf.sprintf "line %d: %s" (lineno + 1) msg) in
+      let fail msg = parse_fail (lineno + 1) msg in
       let line = String.trim line in
       if line = "" || line.[0] = 'c' then ()
       else
@@ -25,34 +51,52 @@ let parse_lines s =
         | [ "p"; kind; n; count ] -> (
             if !header <> None then fail "duplicate problem line";
             match (int_of_string_opt n, int_of_string_opt count) with
-            | Some n, Some count -> header := Some { kind; n; count }
+            | Some n, Some count when n >= 0 && count >= 0 ->
+                header := Some { kind; n; count }
             | _ -> fail "bad problem line")
         | "p" :: _ -> fail "bad problem line"
         | [ "e"; u; v; w ] -> (
-            if !header = None then fail "edge before problem line";
-            match
-              (int_of_string_opt u, int_of_string_opt v, int_of_string_opt w)
-            with
-            | Some u, Some v, Some w -> (
-                match Edge.make u v w with
-                | e -> edges := e :: !edges
-                | exception Invalid_argument msg -> fail msg)
+            let n =
+              match !header with
+              | None -> fail "edge before problem line"
+              | Some h -> h.n
+            in
+            match (int_of_string_opt u, int_of_string_opt v) with
+            | Some u, Some v ->
+                let range_check x =
+                  if x < 0 || x >= n then
+                    fail
+                      (Printf.sprintf "endpoint %d out of range [0, %d)" x n)
+                in
+                range_check u;
+                range_check v;
+                if u = v then fail (Printf.sprintf "self-loop at vertex %d" u);
+                let w = parse_weight fail w in
+                let key = (Stdlib.min u v, Stdlib.max u v) in
+                (match Hashtbl.find_opt seen key with
+                | Some first ->
+                    fail
+                      (Printf.sprintf "duplicate edge %d-%d (first at line %d)"
+                         (fst key) (snd key) first)
+                | None -> Hashtbl.add seen key (lineno + 1));
+                incr count;
+                edges := Edge.make u v w :: !edges
             | _ -> fail "bad edge line")
         | _ -> fail "unrecognised line")
     lines;
   match !header with
-  | None -> failwith "missing problem line"
+  | None -> parse_fail last_line "missing problem line"
   | Some h ->
-      let edges = List.rev !edges in
-      if List.length edges <> h.count then
-        failwith
+      if !count <> h.count then
+        parse_fail last_line
           (Printf.sprintf "problem line announces %d edges, found %d" h.count
-             (List.length edges));
-      (h, edges)
+             !count);
+      (h, List.rev !edges)
 
 let of_string s =
   let h, edges = parse_lines s in
-  if h.kind <> "wm" then failwith (Printf.sprintf "expected 'p wm', got 'p %s'" h.kind);
+  if h.kind <> "wm" then
+    parse_fail 1 (Printf.sprintf "expected 'p wm', got 'p %s'" h.kind);
   Weighted_graph.create ~n:h.n edges
 
 let matching_to_string m =
@@ -70,8 +114,10 @@ let matching_to_string m =
 let matching_of_string s =
   let h, edges = parse_lines s in
   if h.kind <> "matching" then
-    failwith (Printf.sprintf "expected 'p matching', got 'p %s'" h.kind);
-  Matching.of_edges h.n edges
+    parse_fail 1 (Printf.sprintf "expected 'p matching', got 'p %s'" h.kind);
+  match Matching.of_edges h.n edges with
+  | m -> m
+  | exception Invalid_argument msg -> parse_fail 1 msg
 
 let write_file path g =
   let oc = open_out path in

@@ -8,12 +8,22 @@
     e <u> <v> <w>      (one line per edge)
     v}
     Matchings use the same edge lines under a [p matching <n> <k>]
-    header.  The format round-trips exactly (edge order preserved). *)
+    header.  The format round-trips exactly (edge order preserved).
+
+    Parsers validate strictly and never crash mid-parse: NaN, infinite,
+    fractional or negative weights, self-loops, endpoints outside
+    [\[0, n)], duplicate edges, counts that disagree with the header —
+    each raises {!Parse_error} naming the offending line. *)
+
+exception Parse_error of { line : int; msg : string }
+(** [line] is 1-based; document-level problems (missing header, edge
+    count mismatch) report the last line of the input. *)
 
 val to_string : Weighted_graph.t -> string
 
 val of_string : string -> Weighted_graph.t
-(** Raises [Failure] with a line-numbered message on malformed input. *)
+(** Raises {!Parse_error} with a line-numbered message on malformed
+    input. *)
 
 val write_file : string -> Weighted_graph.t -> unit
 

@@ -14,6 +14,12 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] duplicates the current state; the copy evolves independently. *)
 
+val assign : t -> t -> unit
+(** [assign dst src] overwrites [dst]'s state with [src]'s, so [dst]
+    continues from [src]'s position.  Used to commit or roll back a
+    generator around a checkpointed region: snapshot with {!copy}, run,
+    then [assign] the survivor back into the caller's handle. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)

@@ -15,13 +15,27 @@
     {!Wm_obs.Ledger.default} — the primitive's name, its round bill,
     the words it moved and the largest per-machine load it induced —
     so reports can audit round/memory costs per operation, not just in
-    aggregate. *)
+    aggregate.
+
+    {b Faults.}  A cluster owns a {!Wm_fault.Injector.t} built from the
+    [?faults] spec (default: the process-wide {!Wm_fault.Spec.default}).
+    Every primitive consults it: stragglers bill 1–3 extra rounds,
+    crashes raise {!Wm_fault.Injector.Injected_crash} mid-operation,
+    scatter/gather payloads can lose or duplicate records, and a
+    corrupted broadcast is repeated at a two-round cost.  Recovery is
+    explicit: {!checkpoint}/{!restore} snapshot driver state at a
+    one-round bill each, and {!with_retry} re-runs a crashed step with
+    exponential round-backoff billed to the same round clock, so the
+    price of riding out a fault plan shows up in [mpc.rounds] and the
+    [mpc.faults] ledger section.  With an inert spec every hook
+    short-circuits and the op sequence is byte-identical to the
+    fault-free build. *)
 
 type t
 
 exception Memory_exceeded of { machine : int; used : int; capacity : int }
 
-val create : machines:int -> memory_words:int -> t
+val create : ?faults:Wm_fault.Spec.t -> machines:int -> memory_words:int -> unit -> t
 
 val machines : t -> int
 val memory_words : t -> int
@@ -56,3 +70,35 @@ val run_round : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [run_round t f shard_inputs] executes one synchronous round: [f] is
     applied to each machine's input (machine [i] gets
     [shard_inputs.(i mod machines)]). *)
+
+(** {1 Faults and recovery} *)
+
+val faults : t -> Wm_fault.Injector.t
+(** The cluster's injector; drivers use it for their own fault points
+    (e.g. a crash between compute and gather). *)
+
+type 'a snapshot
+(** A replicated checkpoint of driver state. *)
+
+val checkpoint : t -> words:int -> 'a -> 'a snapshot
+(** [checkpoint t ~words payload] replicates [payload] (billed at
+    [words] words per machine) to every machine: one round, each
+    machine must hold [words].  Recorded in [core.recovery]. *)
+
+val peek : 'a snapshot -> 'a
+(** The checkpointed payload, without any billing (first use after
+    taking the checkpoint). *)
+
+val restore : t -> 'a snapshot -> 'a
+(** Reload a checkpoint after a failure: one round, recorded in
+    [core.recovery]. *)
+
+val with_retry : ?attempts:int -> t -> on_retry:(int -> unit) -> (unit -> 'a) -> 'a
+(** [with_retry t ~on_retry f] runs [f], retrying on
+    {!Wm_fault.Injector.Injected_crash} with exponential backoff
+    ([2^(k-1)] rounds after attempt [k]) billed to this cluster's round
+    clock and recorded as [retry_backoff] rows in [mpc.faults].
+    [on_retry] receives the failed attempt number — restore your
+    checkpoint there.  [attempts] defaults to the fault spec's
+    [max_attempts]; exhausting it raises
+    {!Wm_fault.Injector.Budget_exhausted}. *)

@@ -37,16 +37,26 @@ val destroy : t -> unit
 (** Signal the workers to exit once the queue drains and join them.
     The pool must not be used afterwards.  Idempotent. *)
 
-val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+val parallel_map_array :
+  ?chaos:(int -> exn option) -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map_array t f arr] applies [f] to every element, fanning
     the applications across the pool's domains, and returns the results
     in input order.  Falls back to [Array.map] when the pool has one
     domain, when called from inside a pool task, or when
-    [Array.length arr <= 1]. *)
+    [Array.length arr <= 1].
 
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
-(** List analogue of {!parallel_map_array}; same ordering and fallback
-    guarantees. *)
+    [chaos] is a fault-injection hook: before running task [i] the
+    executing domain consults [chaos i] and raises the returned
+    exception instead of running [f].  The hook must be a pure function
+    of the index (e.g. {!Wm_fault.Injector.worker_failures}, which
+    pre-draws its decisions on the caller) so that which tasks fail — on
+    the pool and on the sequential fallback alike — does not depend on
+    scheduling.  Injected exceptions poison the call exactly like
+    exceptions from [f]. *)
+
+val map : ?chaos:(int -> exn option) -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** List analogue of {!parallel_map_array}; same ordering, fallback and
+    [chaos] guarantees. *)
 
 val inside_task : unit -> bool
 (** True while the calling domain is executing a pool task (of any

@@ -2,7 +2,18 @@
 
     A stream fixes an arrival order over the edges of a graph and counts
     the passes an algorithm takes over it.  Random-order streams (the
-    setting of Theorem 1.1) are drawn with an explicit {!Wm_graph.Prng.t}. *)
+    setting of Theorem 1.1) are drawn with an explicit {!Wm_graph.Prng.t}.
+
+    {b Faults.}  A stream owns a {!Wm_fault.Injector.t} built from the
+    [?faults] spec (default: the process-wide {!Wm_fault.Spec.default}).
+    When the spec carries record-fault rates, each {!iter}/{!iteri} pass
+    may drop, duplicate, or weight-corrupt individual records as they
+    are delivered — the decision stream is drawn from the stream's own
+    injector, so two streams built from the same spec misbehave
+    identically at any [--jobs].  Per-pass tallies land in the
+    [stream.faults] ledger section.  {!to_ordered_graph} always returns
+    the {e true} underlying graph — ground-truth solvers must not see
+    injected noise. *)
 
 type order =
   | As_given  (** the graph's internal edge order (adversarial baseline) *)
@@ -13,11 +24,13 @@ type order =
 
 type t
 
-val of_graph : ?order:order -> Wm_graph.Weighted_graph.t -> t
+val of_graph :
+  ?faults:Wm_fault.Spec.t -> ?order:order -> Wm_graph.Weighted_graph.t -> t
 (** [of_graph ~order g] fixes an arrival order for [g]'s edges.  The
     default order is [As_given]. *)
 
-val of_edges : ?order:order -> n:int -> Wm_graph.Edge.t list -> t
+val of_edges :
+  ?faults:Wm_fault.Spec.t -> ?order:order -> n:int -> Wm_graph.Edge.t list -> t
 
 val graph_n : t -> int
 (** Number of vertices in the underlying graph. *)

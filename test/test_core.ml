@@ -869,7 +869,7 @@ let test_mpc_driver () =
       ~weights:(Gen.Uniform (1, 20))
   in
   let params = Params.practical ~epsilon:0.2 () in
-  let cluster = Wm_mpc.Cluster.create ~machines:8 ~memory_words:(80 * 40) in
+  let cluster = Wm_mpc.Cluster.create ~machines:8 ~memory_words:(80 * 40) () in
   let r = MD.mpc ~patience:4 params (P.create 74) cluster g in
   check_bool "valid" true (M.is_valid_in r.MD.matching g);
   check_bool "rounds charged" true (r.MD.rounds > r.MD.rounds_run);
@@ -879,7 +879,7 @@ let test_mpc_driver_memory_violation () =
   let grng = P.create 75 in
   let g = Gen.gnp grng ~n:60 ~p:0.4 ~weights:(Gen.Uniform (1, 20)) in
   let params = Params.practical ~epsilon:0.2 () in
-  let cluster = Wm_mpc.Cluster.create ~machines:2 ~memory_words:10 in
+  let cluster = Wm_mpc.Cluster.create ~machines:2 ~memory_words:10 () in
   let raised =
     try
       ignore (MD.mpc params (P.create 76) cluster g);

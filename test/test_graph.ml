@@ -518,16 +518,41 @@ let test_io_comments_and_blanks () =
   check "weight" 7 (G.total_weight g)
 
 let test_io_errors () =
-  let expect_failure s =
+  let expect_error ?line ?msg s =
     match IO.of_string s with
-    | _ -> Alcotest.fail "expected failure"
-    | exception Failure _ -> ()
+    | _ -> Alcotest.fail ("expected Parse_error for: " ^ String.escaped s)
+    | exception IO.Parse_error { line = l; msg = m } ->
+        (match line with
+        | Some want -> check ("line for " ^ String.escaped s) want l
+        | None -> ());
+        (match msg with
+        | Some want ->
+            let contains hay needle =
+              let nh = String.length hay and nn = String.length needle in
+              let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+              at 0
+            in
+            check_bool
+              (Printf.sprintf "message %S mentions %S" m want)
+              true (contains m want)
+        | None -> ())
   in
-  expect_failure "e 0 1 2\n";
-  expect_failure "p wm 3 2\ne 0 1 2\n";
-  expect_failure "p wm x y\n";
-  expect_failure "p wm 3 1\ne 0 0 2\n";
-  expect_failure "p matching 3 0\n"
+  expect_error ~line:1 "e 0 1 2\n";
+  expect_error ~line:3 "p wm 3 2\ne 0 1 2\n";
+  expect_error ~line:1 "p wm x y\n";
+  expect_error ~line:2 ~msg:"self-loop" "p wm 3 1\ne 0 0 2\n";
+  expect_error ~line:1 "p matching 3 0\n";
+  (* Hardened validation: bad weights, range, duplicates. *)
+  expect_error ~line:2 ~msg:"NaN weight" "p wm 3 1\ne 0 1 nan\n";
+  expect_error ~line:2 ~msg:"infinite weight" "p wm 3 1\ne 0 1 inf\n";
+  expect_error ~line:2 ~msg:"infinite weight" "p wm 3 1\ne 0 1 -inf\n";
+  expect_error ~line:2 ~msg:"negative weight" "p wm 3 1\ne 0 1 -4\n";
+  expect_error ~line:2 ~msg:"not representable" "p wm 3 1\ne 0 1 2.5\n";
+  expect_error ~line:2 ~msg:"bad weight" "p wm 3 1\ne 0 1 heavy\n";
+  expect_error ~line:2 ~msg:"out of range" "p wm 3 1\ne 0 7 2\n";
+  expect_error ~line:2 ~msg:"out of range" "p wm 3 1\ne -1 1 2\n";
+  expect_error ~line:3 ~msg:"duplicate edge" "p wm 3 2\ne 0 1 2\ne 1 0 5\n";
+  expect_error ~line:1 "p wm -3 0\n"
 
 let test_io_matching_roundtrip () =
   let m = M.of_edges 5 [ E.make 0 1 4; E.make 2 3 6 ] in
@@ -589,6 +614,64 @@ let prop_io_roundtrip =
       G.n g = G.n g' && G.m g = G.m g'
       && Array.for_all2 E.equal (G.edges g) (G.edges g'))
 
+(* Fuzz the parser: mutate a valid serialisation and require that the
+   outcome is either a parsed graph or [Parse_error] on a line within
+   the document — never a crash, never any other exception. *)
+let prop_io_malformed =
+  QCheck2.Test.make ~name:"graph io rejects malformed input with Parse_error"
+    ~count:400
+    QCheck2.Gen.(pair gen_small_graph (int_range 0 1_000_000))
+    (fun (g, seed) ->
+      let rng = P.create seed in
+      let s = IO.to_string g in
+      let lines = String.split_on_char '\n' s in
+      let nlines = List.length lines in
+      let pick_line () = P.int rng (Stdlib.max 1 nlines) in
+      let replace_token line tok =
+        match String.split_on_char ' ' line with
+        | [] -> tok
+        | parts ->
+            let i = P.int rng (List.length parts) in
+            String.concat " " (List.mapi (fun j p -> if i = j then tok else p) parts)
+      in
+      let bad_token () =
+        let toks =
+          [| "nan"; "inf"; "-inf"; "-5"; "2.5"; "x"; "999"; "-1";
+             "99999999999999999999999999" |]
+        in
+        toks.(P.int rng (Array.length toks))
+      in
+      let mutate lines =
+        match P.int rng 6 with
+        | 0 ->
+            (* Corrupt one token of one line. *)
+            let target = pick_line () in
+            List.mapi
+              (fun i l -> if i = target then replace_token l (bad_token ()) else l)
+              lines
+        | 1 ->
+            (* Drop a line (header, edge, or trailer). *)
+            let target = pick_line () in
+            List.filteri (fun i _ -> i <> target) lines
+        | 2 ->
+            (* Duplicate a line. *)
+            let target = pick_line () in
+            List.concat_map
+              (fun (i, l) -> if i = target then [ l; l ] else [ l ])
+              (List.mapi (fun i l -> (i, l)) lines)
+        | 3 -> [ "garbage" ] @ lines
+        | 4 ->
+            (* Truncate mid-document. *)
+            List.filteri (fun i _ -> i <= nlines / 2) lines
+        | _ ->
+            let target = pick_line () in
+            List.mapi (fun i l -> if i = target then "e 0 0 1" else l) lines
+      in
+      let s' = String.concat "\n" (mutate lines) in
+      match IO.of_string s' with
+      | (_ : Wm_graph.Weighted_graph.t) -> true
+      | exception IO.Parse_error { line; _ } -> line >= 1)
+
 let prop_two_color_sound =
   QCheck2.Test.make ~name:"two_color produces a proper bipartition" ~count:200
     gen_small_graph (fun g ->
@@ -603,6 +686,7 @@ let qcheck_tests =
       prop_symmetric_difference_covers;
       prop_two_color_sound;
       prop_io_roundtrip;
+      prop_io_malformed;
     ]
 
 let () =

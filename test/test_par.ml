@@ -81,6 +81,34 @@ let test_exception_poisons_call_only () =
       check_bool "pool reusable after exception" true
         (Pool.map pool succ [ 10; 20 ] = [ 11; 21 ]))
 
+(* A worker raising a domain-specific exception (the MPC memory guard)
+   mid-fan-out must propagate that exact exception — payload intact, no
+   deadlock — and leave the default pool reusable. *)
+let test_memory_exceeded_poisons_call_only () =
+  let saved = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      Pool.set_default_jobs 4;
+      let pool = Pool.default () in
+      (match
+         Pool.parallel_map_array pool
+           (fun x ->
+             if x = 61 then
+               raise
+                 (Wm_mpc.Cluster.Memory_exceeded
+                    { machine = 3; used = 9999; capacity = 1024 })
+             else x * 2)
+           (Array.init 200 (fun i -> i))
+       with
+      | _ -> Alcotest.fail "overloaded worker should poison the call"
+      | exception Wm_mpc.Cluster.Memory_exceeded { machine; used; capacity } ->
+          check "machine" 3 machine;
+          check "used" 9999 used;
+          check "capacity" 1024 capacity);
+      check_bool "default pool reusable after Memory_exceeded" true
+        (Pool.map pool succ [ 10; 20 ] = [ 11; 21 ]))
+
 let test_default_pool_resize () =
   let saved = Pool.default_jobs () in
   Fun.protect
@@ -284,6 +312,8 @@ let () =
             test_size_and_inline_pool;
           Alcotest.test_case "nested map falls back" `Quick
             test_nested_map_falls_back;
+          Alcotest.test_case "Memory_exceeded poisons call only" `Quick
+            test_memory_exceeded_poisons_call_only;
           Alcotest.test_case "exception poisons call only" `Quick
             test_exception_poisons_call_only;
           Alcotest.test_case "default pool resize" `Quick
