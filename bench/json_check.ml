@@ -76,8 +76,49 @@ let () =
         | _ -> fail "%s: experiments[%d] (T7) has no rows" path i)
     | _ -> fail "%s: experiments[%d] (T7) has no tables" path i
   in
+  (* Serve-mode reports (wm_cli serve --report) run no experiments; an
+     empty experiments list is legal exactly when a "serve" block backs
+     it, and that block must be structurally sound. *)
+  let check_serve s =
+    List.iter
+      (fun k ->
+        match J.member k s with
+        | Some (J.Int n) when n >= 0 -> ()
+        | _ -> fail "%s: serve block lacks non-negative int %S" path k)
+      [ "requests"; "batches"; "sessions"; "queue_depth" ];
+    (match J.member "counters" s with
+    | Some (J.Obj fields) ->
+        List.iter
+          (fun (k, v) ->
+            match v with
+            | J.Int n when n >= 0 -> ()
+            | _ -> fail "%s: serve.counters.%s is not a non-negative int" path k)
+          fields
+    | _ -> fail "%s: serve block lacks \"counters\" object" path);
+    match J.member "cache" s with
+    | Some (J.Obj _) -> (
+        let get k =
+          match J.member k (Option.get (J.member "cache" s)) with
+          | Some (J.Int n) when n >= 0 -> n
+          | _ -> fail "%s: serve.cache lacks non-negative int %S" path k
+        in
+        let entries = get "entries" in
+        let capacity = get "capacity" in
+        ignore (get "hits");
+        ignore (get "misses");
+        ignore (get "evictions");
+        if entries > capacity then
+          fail "%s: serve.cache entries %d exceed capacity %d" path entries
+            capacity)
+    | _ -> fail "%s: serve block lacks \"cache\" object" path
+  in
+  (match J.member "serve" json with
+  | Some s -> check_serve s
+  | None -> ());
   (match J.member "experiments" json with
-  | Some (J.List []) -> fail "%s: empty experiments list" path
+  | Some (J.List []) ->
+      if J.member "serve" json = None then
+        fail "%s: empty experiments list" path
   | Some (J.List sections) ->
       List.iteri
         (fun i s ->

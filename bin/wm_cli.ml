@@ -217,6 +217,7 @@ let run_json ~g ~algo ~result =
              ("n", Int (G.n g));
              ("m", Int (G.m g));
              ("total_weight", Int (G.total_weight g));
+             ("digest", Str (Wm_graph.Graph_io.digest g));
            ] );
        ("algo", Str (algo_name algo));
        ( "matching",
@@ -350,6 +351,48 @@ let run_experiments ids quick seed jobs faults =
               Printf.eprintf "wm_cli: unknown experiment id: %s\n" id;
               exit_usage)
         0 ids
+
+(* ------------------------------------------------------------------ *)
+(* The serving loop: line-delimited WM_REQ_v1 on stdin, WM_RESP_v1 on
+   stdout.  See lib/serve and DESIGN.md §5.3. *)
+
+let run_serve jobs queue_depth cache_entries deadline_ms report faults =
+  if queue_depth < 1 then begin
+    Printf.eprintf "wm_cli: --queue-depth must be at least 1\n";
+    exit_usage
+  end
+  else if cache_entries < 0 then begin
+    Printf.eprintf "wm_cli: --cache-entries must be non-negative\n";
+    exit_usage
+  end
+  else if deadline_ms < 0 then begin
+    Printf.eprintf "wm_cli: --deadline-ms must be non-negative\n";
+    exit_usage
+  end
+  else
+    with_faults faults @@ fun () ->
+    set_jobs jobs;
+    let config =
+      {
+        Wm_serve.Server.queue_depth;
+        cache_entries;
+        deadline_ms;
+        faults = Wm_fault.Spec.default ();
+        destroy_pool_on_shutdown = true;
+      }
+    in
+    let server = Wm_serve.Server.create config in
+    Wm_serve.Server.run server stdin stdout;
+    (match report with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            Wm_obs.Json.to_channel oc (Wm_serve.Server.report_json server);
+            output_char oc '\n'));
+    0
 
 let run_list () =
   List.iter
@@ -501,11 +544,102 @@ let list_cmd =
     (Cmd.info "list" ~doc:"List available experiments")
     Term.(const run_list $ const ())
 
+let serve_cmd =
+  let queue_depth_t =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "queue-depth" ]
+          ~doc:
+            "Max solves admitted per batch; further solve requests are \
+             answered $(b,overloaded) until the next batch boundary.")
+  in
+  let cache_entries_t =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "cache-entries" ]
+          ~doc:"LRU result-cache capacity (0 disables the cache).")
+  in
+  let deadline_ms_t =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "deadline-ms" ]
+          ~doc:
+            "Default per-solve wall-clock deadline in milliseconds, \
+             enforced cooperatively at improvement-round boundaries \
+             (0 disables; requests may override with their own \
+             $(b,deadline_ms) field).")
+  in
+  let report_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"PATH"
+          ~doc:
+            "After the session ends, write a BENCH_v1 report (mode \
+             $(b,serve)) with the serve.* counters, latency histograms \
+             and request ledger to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the batched matching service: line-delimited WM_REQ_v1 \
+          JSON requests on stdin (load/solve/stats/evict/shutdown), one \
+          WM_RESP_v1 JSON response per line on stdout.  Solves batch up \
+          to the next non-solve request (or blank line) and fan out \
+          across the worker pool; responses are byte-identical at any \
+          $(b,--jobs).")
+    Term.(
+      const run_serve $ jobs_t $ queue_depth_t $ cache_entries_t
+      $ deadline_ms_t $ report_t $ faults_t)
+
+let version_string = "wm_cli 1.0.0"
+
+let version_cmd =
+  Cmd.v
+    (Cmd.info "version" ~doc:"Print the version line and exit")
+    Term.(
+      const (fun () ->
+          print_endline version_string;
+          0)
+      $ const ())
+
+let help_cmd =
+  Cmd.v
+    (Cmd.info "help" ~doc:"Show a one-screen overview of the subcommands")
+    Term.(
+      const (fun () ->
+          print_endline
+            "wm_cli — weighted matchings via unweighted augmentations (PODC \
+             2019)";
+          print_endline "";
+          List.iter print_endline
+            [
+              "  solve       generate (or load) an instance and run one \
+               algorithm";
+              "  stats       run one algorithm, print the WM_STATS_v1 report";
+              "  trace       run with span tracing, write a Perfetto trace";
+              "  gen         generate an instance file";
+              "  experiment  regenerate the paper's tables and figures";
+              "  list        list available experiments";
+              "  serve       run the batched matching service on stdin/stdout";
+              "  version     print the version line";
+            ];
+          print_endline "";
+          print_endline "Run 'wm_cli SUBCOMMAND --help' for details.";
+          0)
+      $ const ())
+
 let main_cmd =
   Cmd.group
-    (Cmd.info "wm_cli" ~version:"1.0.0"
+    (Cmd.info "wm_cli" ~version:version_string
        ~doc:"Weighted matchings via unweighted augmentations (PODC 2019)")
-    [ solve_cmd; stats_cmd; trace_cmd; gen_cmd; experiment_cmd; list_cmd ]
+    [
+      solve_cmd; stats_cmd; trace_cmd; gen_cmd; experiment_cmd; list_cmd;
+      serve_cmd; version_cmd; help_cmd;
+    ]
 
 (* Cmdliner reports its own parse errors (unknown flags, bad enum
    values) with exit 124; fold those into the usage-error code so

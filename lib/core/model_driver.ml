@@ -11,7 +11,15 @@ type streaming_result = {
   passes : int;
   peak_edges : int;
   rounds_run : int;
+  cancelled : bool;
 }
+
+(* Cooperative cancellation: the [cancel] hook is consulted exactly once
+   per improvement round, at the round boundary — never mid-round, so a
+   cancelled run always holds a committed (round-atomic) matching.  The
+   hook sees the number of rounds already committed. *)
+let check_cancel cancel ~rounds_run =
+  match cancel with None -> false | Some f -> f ~rounds_run
 
 let round_memory (r : Main_alg.round_stats) =
   List.fold_left
@@ -43,7 +51,7 @@ let shed_to ~target m =
     by_weight;
   (!shed, !lost)
 
-let streaming ?(patience = 4) ?faults params rng stream =
+let streaming ?(patience = 4) ?cancel ?faults params rng stream =
   let inj =
     match faults with
     | Some i -> i
@@ -70,8 +78,15 @@ let streaming ?(patience = 4) ?faults params rng stream =
   let attempts = (Injector.spec inj).Wm_fault.Spec.max_attempts in
   let m = ref (M.create n) in
   let peak = ref 0 in
+  let cancelled = ref false in
+  let stop_requested i =
+    check_cancel cancel ~rounds_run:i && (cancelled := true; true)
+  in
   let dry = ref 0 and i = ref 0 in
-  while !dry < patience && !i < params.Params.max_iterations do
+  while
+    !dry < patience && !i < params.Params.max_iterations
+    && not (stop_requested !i)
+  do
     (* Per-round checkpoint: matching + rng position, so a crashed round
        resumes from the last round boundary instead of aborting. *)
     let snap =
@@ -154,6 +169,7 @@ let streaming ?(patience = 4) ?faults params rng stream =
     passes = S.passes stream;
     peak_edges = !peak;
     rounds_run = !i;
+    cancelled = !cancelled;
   }
 
 type mpc_result = {
@@ -162,9 +178,10 @@ type mpc_result = {
   peak_machine_memory : int;
   machines : int;
   rounds_run : int;
+  cancelled : bool;
 }
 
-let mpc ?(patience = 4) params rng cluster g =
+let mpc ?(patience = 4) ?cancel params rng cluster g =
   let module C = Wm_mpc.Cluster in
   let inj = C.faults cluster in
   let active = Injector.is_active inj in
@@ -175,8 +192,15 @@ let mpc ?(patience = 4) params rng cluster g =
   let place () = ignore (C.scatter cluster (G.edges g)) in
   if active then C.with_retry cluster ~on_retry:(fun _ -> ()) place
   else place ();
+  let cancelled = ref false in
+  let stop_requested i =
+    check_cancel cancel ~rounds_run:i && (cancelled := true; true)
+  in
   let dry = ref 0 and i = ref 0 in
-  while !dry < patience && !i < params.Params.max_iterations do
+  while
+    !dry < patience && !i < params.Params.max_iterations
+    && not (stop_requested !i)
+  do
     (* Per-round checkpoint replicated across the cluster: matching +
        rng position, the state a retry restarts the choreography from. *)
     let snap =
@@ -232,4 +256,5 @@ let mpc ?(patience = 4) params rng cluster g =
     peak_machine_memory = C.peak_machine_memory cluster;
     machines = C.machines cluster;
     rounds_run = !i;
+    cancelled = !cancelled;
   }

@@ -37,10 +37,12 @@ type streaming_result = {
   passes : int;  (** total stream passes charged *)
   peak_edges : int;  (** peak retained edges across instances *)
   rounds_run : int;  (** improvement rounds executed *)
+  cancelled : bool;  (** stopped early by the [cancel] hook *)
 }
 
 val streaming :
   ?patience:int ->
+  ?cancel:(rounds_run:int -> bool) ->
   ?faults:Wm_fault.Injector.t ->
   Params.t ->
   Wm_graph.Prng.t ->
@@ -53,7 +55,16 @@ val streaming :
     passes billed), record faults applied at ingest (the ground-truth
     graph is untouched), and memory-pressure shedding.  Raises
     {!Wm_fault.Injector.Budget_exhausted} when a round crashes on every
-    retry attempt. *)
+    retry attempt.
+
+    [cancel] is the cooperative-cancellation hook of the serving layer
+    (per-request deadlines): it is consulted once per improvement round,
+    at the round boundary, with the number of rounds already committed.
+    Returning [true] stops the loop immediately — the result carries the
+    last committed matching with [cancelled = true].  The hook is never
+    called mid-round, so a cancelled run is always round-atomic, and a
+    hook that keys on [rounds_run] (rather than wall clock) cancels at
+    the same point on every run. *)
 
 type mpc_result = {
   matching : Wm_graph.Matching.t;
@@ -61,10 +72,12 @@ type mpc_result = {
   peak_machine_memory : int;
   machines : int;
   rounds_run : int;
+  cancelled : bool;  (** stopped early by the [cancel] hook *)
 }
 
 val mpc :
   ?patience:int ->
+  ?cancel:(rounds_run:int -> bool) ->
   Params.t ->
   Wm_graph.Prng.t ->
   Wm_mpc.Cluster.t ->
@@ -76,7 +89,8 @@ val mpc :
     injector ({!Wm_mpc.Cluster.faults}): crashed rounds are retried
     from replicated checkpoints with the backoff billed to the round
     clock; {!Wm_fault.Injector.Budget_exhausted} is raised when the
-    retry budget runs out. *)
+    retry budget runs out.  [cancel] as in {!streaming}: checked at
+    round boundaries, stops with the last committed matching. *)
 
 val peak_instance_load : (float * Aug_class.stats) list -> int
 (** The largest single [(W, tau)]-pair layered graph across all scales

@@ -9,6 +9,39 @@ let to_string g =
     g;
   Buffer.contents buf
 
+(* Content digest: 64-bit FNV-1a over the canonicalized edge list.
+   Each edge is normalized to (min endpoint, max endpoint, weight) and
+   the list is sorted, so the digest is invariant under both the order
+   the endpoints were given in and the order the edges were added —
+   two graphs with the same vertex count and edge set always hash
+   alike, however they were constructed or serialized. *)
+let digest g =
+  let edges =
+    Array.map
+      (fun e ->
+        let u, v = Edge.endpoints e in
+        (Stdlib.min u v, Stdlib.max u v, Edge.weight e))
+      (Weighted_graph.edges g)
+  in
+  Array.sort compare edges;
+  let h = ref 0xcbf29ce484222325L in
+  let feed_byte b =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) 0x100000001b3L
+  in
+  let feed_int x =
+    for i = 0 to 7 do
+      feed_byte (x asr (8 * i))
+    done
+  in
+  feed_int (Weighted_graph.n g);
+  Array.iter
+    (fun (u, v, w) ->
+      feed_int u;
+      feed_int v;
+      feed_int w)
+    edges;
+  Printf.sprintf "%016Lx" !h
+
 type header = { kind : string; n : int; count : int }
 
 exception Parse_error of { line : int; msg : string }

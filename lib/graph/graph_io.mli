@@ -19,6 +19,14 @@ exception Parse_error of { line : int; msg : string }
 (** [line] is 1-based; document-level problems (missing header, edge
     count mismatch) report the last line of the input. *)
 
+val digest : Weighted_graph.t -> string
+(** Content digest of a graph: 64-bit FNV-1a over the canonicalized
+    (endpoint-sorted, edge-sorted) edge list plus the vertex count,
+    rendered as 16 lowercase hex digits.  Invariant under endpoint
+    order and edge order, so any two structurally equal graphs digest
+    identically — the session key of the serving layer and the
+    [instance.digest] field of WM_STATS_v1 reports. *)
+
 val to_string : Weighted_graph.t -> string
 
 val of_string : string -> Weighted_graph.t

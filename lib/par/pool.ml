@@ -52,15 +52,25 @@ let create ~domains =
 
 let size t = t.domains
 
+(* Idempotent and race-safe: the worker array is taken under the lock,
+   so concurrent destroyers (e.g. an explicit shutdown path racing the
+   at_exit teardown of the default pool) join disjoint — second and
+   later callers join nothing. *)
 let destroy t =
   Mutex.lock t.lock;
+  let workers = t.workers in
+  t.workers <- [||];
   t.stopping <- true;
   Condition.broadcast t.wake;
   Mutex.unlock t.lock;
-  Array.iter Domain.join t.workers;
-  t.workers <- [||]
+  Array.iter Domain.join workers
 
 let parallel_map_array ?chaos t f arr =
+  (* Submitting to a destroyed pool has no workers to drain the queued
+     helper thunks; rather than silently degrading (or leaking queue
+     entries forever), fail fast with a one-line diagnostic. *)
+  if t.stopping then
+    invalid_arg "Wm_par.Pool: map on a destroyed pool";
   (* The chaos hook (fault injection) is consulted by task index before
      the real work, so which tasks fail is a pure function of the input
      — independent of which domain runs the task or in what order. *)

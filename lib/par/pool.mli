@@ -35,7 +35,10 @@ val size : t -> int
 
 val destroy : t -> unit
 (** Signal the workers to exit once the queue drains and join them.
-    The pool must not be used afterwards.  Idempotent. *)
+    Idempotent, and safe to race from several domains: the first caller
+    joins the workers, later callers are no-ops.  {!map} and
+    {!parallel_map_array} on a destroyed pool raise a one-line
+    [Invalid_argument] instead of queueing work no worker will drain. *)
 
 val parallel_map_array :
   ?chaos:(int -> exn option) -> t -> ('a -> 'b) -> 'a array -> 'b array

@@ -1,0 +1,51 @@
+(** Closed-loop load generator for the serving layer.
+
+    Drives an in-process {!Server.t} with windows of concurrent solve
+    requests: each window submits [clients] solves against the
+    last-loaded session and then forces a batch boundary, modelling
+    [clients] closed-loop clients that each wait for their response
+    before issuing the next request.  Request parameters cycle through a
+    bounded pool of [distinct] (algo, seed) combinations, so sustained
+    load repeats earlier requests and exercises the result cache.
+
+    The generator measures latency itself — submit time to response
+    time per request — and reports exact (not histogram-interpolated)
+    p50/p99, plus outcome tallies read back from the response bodies.
+    Used by experiment T9 and [bench/serve_loadgen.exe]. *)
+
+type stats = {
+  clients : int;
+  windows : int;
+  requests : int;  (** total solve requests submitted *)
+  ok : int;  (** [status = "ok"] responses *)
+  cached : int;  (** ok responses answered from the result cache *)
+  overloaded : int;
+  deadline : int;
+  errors : int;
+  elapsed_ns : int;
+  p50_ns : int;
+  p99_ns : int;
+}
+
+val run :
+  server:Server.t ->
+  clients:int ->
+  windows:int ->
+  ?algos:Protocol.algo list ->
+  ?distinct:int ->
+  ?deadline_ms:int option ->
+  ?base_seed:int ->
+  unit ->
+  stats
+(** [run ~server ~clients ~windows ()] submits [clients * windows]
+    solves.  [algos] (default [[Streaming; Greedy]]) and [distinct]
+    (default [max 2 (clients / 2)]) bound the parameter pool;
+    [deadline_ms] (default [None]) attaches a per-request deadline;
+    [base_seed] (default [1000]) offsets the seed pool.  The server must
+    already hold at least one loaded session. *)
+
+val throughput_rps : stats -> float
+(** Completed requests per second of wall-clock elapsed time. *)
+
+val hit_ratio : stats -> float
+(** [cached / ok] ([0.] when no request succeeded). *)

@@ -1,0 +1,155 @@
+module J = Wm_obs.Json
+
+type algo = Streaming | Mpc | Greedy
+
+type solve_params = {
+  algo : algo;
+  epsilon : float;
+  seed : int;
+  deadline_ms : int option;
+}
+
+type verb =
+  | Load of { graph : string option; path : string option }
+  | Solve of { digest : string option; params : solve_params }
+  | Stats
+  | Evict of { digest : string option }
+  | Shutdown
+
+type request = { id : int; verb : verb }
+
+let algo_name = function
+  | Streaming -> "streaming"
+  | Mpc -> "mpc"
+  | Greedy -> "greedy"
+
+let algo_of_name = function
+  | "streaming" -> Some Streaming
+  | "mpc" -> Some Mpc
+  | "greedy" -> Some Greedy
+  | _ -> None
+
+(* Field accessors over the request object; each returns a one-line
+   error naming the field when the type is wrong. *)
+let str_field obj key =
+  match J.member key obj with
+  | Some (J.Str s) -> Ok (Some s)
+  | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" key)
+
+let int_field obj key =
+  match J.member key obj with
+  | Some (J.Int n) -> Ok (Some n)
+  | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" key)
+
+let float_field obj key =
+  match J.member key obj with
+  | Some (J.Float f) -> Ok (Some f)
+  | Some (J.Int n) -> Ok (Some (float_of_int n))
+  | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" key)
+
+let ( let* ) = Result.bind
+
+let parse_solve obj =
+  let* digest = str_field obj "digest" in
+  (* "latest" is spelled out in transcripts; normalise it to the
+     omitted-digest form so both route to the last-loaded session. *)
+  let digest = match digest with Some "latest" -> None | d -> d in
+  let* algo_s = str_field obj "algo" in
+  let* algo =
+    match algo_s with
+    | None -> Ok Streaming
+    | Some s -> (
+        match algo_of_name s with
+        | Some a -> Ok a
+        | None ->
+            Error
+              (Printf.sprintf
+                 "unknown algo %S (expected streaming, mpc or greedy)" s))
+  in
+  let* epsilon = float_field obj "epsilon" in
+  let epsilon = Option.value epsilon ~default:0.1 in
+  let* () =
+    if epsilon > 0.0 && epsilon < 1.0 then Ok ()
+    else Error "field \"epsilon\" must be in (0, 1)"
+  in
+  let* seed = int_field obj "seed" in
+  let seed = Option.value seed ~default:42 in
+  let* deadline_ms = int_field obj "deadline_ms" in
+  let* () =
+    match deadline_ms with
+    | Some d when d <= 0 -> Error "field \"deadline_ms\" must be positive"
+    | _ -> Ok ()
+  in
+  Ok (Solve { digest; params = { algo; epsilon; seed; deadline_ms } })
+
+let parse_request line =
+  match J.of_string line with
+  | Error e -> Error (Printf.sprintf "invalid JSON: %s" e)
+  | Ok (J.Obj _ as obj) -> (
+      let* () =
+        match J.member "schema" obj with
+        | Some (J.Str "WM_REQ_v1") -> Ok ()
+        | Some j ->
+            Error (Printf.sprintf "unexpected schema %s" (J.to_string j))
+        | None -> Error "missing \"schema\" field (expected \"WM_REQ_v1\")"
+      in
+      let* id =
+        match J.member "id" obj with
+        | Some (J.Int n) -> Ok n
+        | _ -> Error "missing or non-integer \"id\" field"
+      in
+      let* verb_s =
+        match J.member "verb" obj with
+        | Some (J.Str s) -> Ok s
+        | _ -> Error "missing or non-string \"verb\" field"
+      in
+      let* verb =
+        match verb_s with
+        | "load" -> (
+            let* graph = str_field obj "graph" in
+            let* path = str_field obj "path" in
+            match (graph, path) with
+            | None, None ->
+                Error "load needs a \"graph\" (inline text) or \"path\" field"
+            | _ -> Ok (Load { graph; path }))
+        | "solve" -> parse_solve obj
+        | "stats" -> Ok Stats
+        | "evict" ->
+            let* digest = str_field obj "digest" in
+            Ok (Evict { digest })
+        | "shutdown" -> Ok Shutdown
+        | s ->
+            Error
+              (Printf.sprintf
+                 "unknown verb %S (expected load, solve, stats, evict or \
+                  shutdown)"
+                 s)
+      in
+      Ok { id; verb })
+  | Ok _ -> Error "request is not a JSON object"
+
+let canonical_params p =
+  Printf.sprintf "algo=%s,epsilon=%.6g,seed=%d" (algo_name p.algo) p.epsilon
+    p.seed
+
+let cache_key ~digest p = digest ^ "|" ^ canonical_params p
+
+let response ~id ~status fields =
+  J.Obj
+    ([
+       ("schema", J.Str "WM_RESP_v1");
+       ("id", J.Int id);
+       ("status", J.Str status);
+     ]
+    @ fields)
+
+let error_response ~id msg = response ~id ~status:"error" [ ("error", J.Str msg) ]
+
+let status_code = function
+  | "ok" -> 0
+  | "overloaded" -> 1
+  | "deadline" -> 2
+  | _ -> 3

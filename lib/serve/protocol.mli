@@ -1,0 +1,84 @@
+(** The serving wire protocol: WM_REQ_v1 requests, WM_RESP_v1 responses.
+
+    The transport is line-delimited JSON (one complete JSON object per
+    line, parsed with {!Wm_obs.Json} — no external dependency).  A
+    request names a [verb]; the five verbs are:
+
+    - [load]: register a graph (inline DIMACS text under ["graph"], or
+      a file path under ["path"]) in the session store.  The response
+      carries the graph's content digest ({!Wm_graph.Graph_io.digest}),
+      the key later [solve]s refer to.
+    - [solve]: request a matching on a loaded graph (["digest"];
+      omitted or ["latest"] means the most recently loaded session).
+      Optional fields: ["algo"] (["streaming"], default; ["mpc"];
+      ["greedy"]), ["epsilon"], ["seed"], ["deadline_ms"] (per-request
+      deadline override).  Solves are {e queued} and executed as a
+      batch at the next batch boundary.
+    - [stats]: deterministic service snapshot (sessions, cache
+      occupancy and hit counts, request tallies).
+    - [evict]: drop one session (["digest"]) and its cached results, or
+      everything when the digest is omitted.
+    - [shutdown]: flush, acknowledge, stop the server.
+
+    Every verb other than [solve] — and a blank input line — is a
+    {e batch boundary}: queued solves are executed (fanning out across
+    the default {!Wm_par.Pool}) and their responses emitted, in arrival
+    order, before the boundary request is answered.  Unknown request
+    fields are ignored (forward compatibility); malformed lines get a
+    [status = "error"] response and do not disturb the queue.
+
+    Responses are single-line JSON objects
+    [{"schema": "WM_RESP_v1", "id": .., "status": .., ...}] echoing the
+    request id.  Statuses: ["ok"], ["overloaded"] (admission control
+    rejected the solve), ["deadline"] (the solve was cancelled at a
+    round boundary; the partial result is included), ["error"]. *)
+
+type algo = Streaming | Mpc | Greedy
+
+type solve_params = {
+  algo : algo;
+  epsilon : float;  (** target slack for the [(1 - eps)] drivers *)
+  seed : int;  (** seeds the solve's {!Wm_graph.Prng} *)
+  deadline_ms : int option;
+      (** per-request wall-clock deadline; [None] defers to the server
+          default *)
+}
+
+type verb =
+  | Load of { graph : string option; path : string option }
+  | Solve of { digest : string option; params : solve_params }
+  | Stats
+  | Evict of { digest : string option }
+  | Shutdown
+
+type request = { id : int; verb : verb }
+
+val parse_request : string -> (request, string) result
+(** Parse one request line.  [Error msg] is a one-line, user-facing
+    diagnostic (bad JSON, wrong schema, missing field, unknown verb). *)
+
+val algo_name : algo -> string
+
+val algo_of_name : string -> algo option
+
+val canonical_params : solve_params -> string
+(** The canonical textual form of the parameters that determine a
+    solve's result: ["algo=..,epsilon=..,seed=.."].  Deadlines are
+    excluded — they bound latency, never identity (a deadline-cancelled
+    result is not cached), so the same logical solve always canonicalises
+    identically. *)
+
+val cache_key : digest:string -> solve_params -> string
+(** [digest ^ "|" ^ canonical_params params] — the LRU result-cache
+    key: (graph digest, canonical params, seed). *)
+
+val response :
+  id:int -> status:string -> (string * Wm_obs.Json.t) list -> Wm_obs.Json.t
+(** Build a WM_RESP_v1 envelope: schema + id + status + extra fields. *)
+
+val error_response : id:int -> string -> Wm_obs.Json.t
+(** [response ~id ~status:"error"] with the message under ["error"]. *)
+
+val status_code : string -> int
+(** Stable integer form of a status for ledger rows: ok 0, overloaded 1,
+    deadline 2, error 3 (anything else 3). *)

@@ -1,0 +1,664 @@
+module J = Wm_obs.Json
+module Obs = Wm_obs.Obs
+module Ledger = Wm_obs.Ledger
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+module P = Wm_graph.Prng
+module ES = Wm_stream.Edge_stream
+module Injector = Wm_fault.Injector
+module Recovery = Wm_fault.Recovery
+module Spec = Wm_fault.Spec
+
+type config = {
+  queue_depth : int;
+  cache_entries : int;
+  deadline_ms : int;
+  faults : Spec.t;
+  destroy_pool_on_shutdown : bool;
+}
+
+let default_config () =
+  {
+    queue_depth = 16;
+    cache_entries = 64;
+    deadline_ms = 0;
+    faults = Spec.default ();
+    destroy_pool_on_shutdown = false;
+  }
+
+(* serve.* instruments (DESIGN.md §4.2).  Counters are process-wide:
+   several servers in one process share them, so tests read deltas. *)
+let c_requests = Obs.counter Obs.default "serve.requests"
+let c_loads = Obs.counter Obs.default "serve.loads"
+let c_solves = Obs.counter Obs.default "serve.solves"
+let c_hits = Obs.counter Obs.default "serve.cache.hits"
+let c_misses = Obs.counter Obs.default "serve.cache.misses"
+let c_overloaded = Obs.counter Obs.default "serve.overloaded"
+let c_shed = Obs.counter Obs.default "serve.shed_requests"
+let c_deadline = Obs.counter Obs.default "serve.deadline_expired"
+let c_retries = Obs.counter Obs.default "serve.retries"
+let c_errors = Obs.counter Obs.default "serve.errors"
+let c_batches = Obs.counter Obs.default "serve.batches"
+let c_evicts = Obs.counter Obs.default "serve.evicts"
+let c_shutdowns = Obs.counter Obs.default "serve.shutdowns"
+let h_latency = Obs.histogram Obs.default "serve.latency_ns"
+let h_batch = Obs.histogram Obs.default "serve.batch_size"
+
+(* One admitted solve.  Chaos decisions (injected crash count, injected
+   deadline-expiry round) are pre-drawn sequentially at admission time on
+   the request-loop domain, so executing the job on any pool domain
+   replays a fixed plan — the fault pattern cannot depend on
+   scheduling. *)
+type queued = {
+  arrival : int;
+  id : int;
+  digest : string;
+  graph : G.t;
+  params : Protocol.solve_params;
+  key : string;
+  enqueued_ns : int;
+  expire_round : int option;  (** injected deadline expiry round *)
+  mutable crashes_left : int;  (** pre-drawn serve-level crashes *)
+  deadline_ns : int option;  (** wall-clock deadline *)
+}
+
+type t = {
+  config : config;
+  cache : J.t Cache.t;
+  sessions : (string, G.t) Hashtbl.t;
+  mutable order : string list;  (** digests in load order *)
+  mutable last : string option;  (** most recently loaded digest *)
+  inj : Injector.t;
+  mutable queue : queued list;  (** newest first *)
+  mutable queue_len : int;
+  mutable reqno : int;
+  mutable batchno : int;
+  mutable stopped : bool;
+}
+
+let create config =
+  let t =
+    {
+      config;
+      cache = Cache.create ~capacity:config.cache_entries;
+      sessions = Hashtbl.create 16;
+      order = [];
+      last = None;
+      inj = Injector.create ~salt:5 ~section:"serve.faults" config.faults;
+      queue = [];
+      queue_len = 0;
+      reqno = 0;
+      batchno = 0;
+      stopped = false;
+    }
+  in
+  Obs.gauge Obs.default "serve.queue_depth" (fun () -> t.queue_len);
+  Obs.gauge Obs.default "serve.sessions" (fun () -> Hashtbl.length t.sessions);
+  Obs.gauge Obs.default "serve.cache.entries" (fun () -> Cache.length t.cache);
+  t
+
+let stopped t = t.stopped
+
+let sessions t =
+  List.map
+    (fun d ->
+      let g = Hashtbl.find t.sessions d in
+      (d, G.n g, G.m g))
+    t.order
+
+let ledger_row t ~label ~id ~cached ~status ~latency_ns =
+  Ledger.record ~label Ledger.default ~section:"serve.requests"
+    [
+      ("id", id);
+      ("batch", t.batchno);
+      ("cached", if cached then 1 else 0);
+      ("status", Protocol.status_code status);
+      ("latency_us", latency_ns / 1000);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Solve execution (runs on pool domains) *)
+
+let result_json ~algo ~m ~g ~rounds ~passes ~mpc_rounds =
+  J.Obj
+    [
+      ("algo", J.Str (Protocol.algo_name algo));
+      ("size", J.Int (M.size m));
+      ("weight", J.Int (M.weight m));
+      ("valid", J.Bool (M.is_valid_in m g));
+      ("rounds", J.Int rounds);
+      ("passes", J.Int passes);
+      ("mpc_rounds", J.Int mpc_rounds);
+    ]
+
+let execute t (q : queued) =
+  let deadline_hit = ref false in
+  let cancel ~rounds_run =
+    let injected =
+      match q.expire_round with Some k -> rounds_run >= k | None -> false
+    in
+    let wall =
+      match q.deadline_ns with Some d -> Obs.now_ns () > d | None -> false
+    in
+    if injected || wall then begin
+      deadline_hit := true;
+      true
+    end
+    else false
+  in
+  let params =
+    Wm_core.Params.practical ~epsilon:q.params.Protocol.epsilon ()
+  in
+  let attempts = (Injector.spec t.inj).Spec.max_attempts in
+  let body () =
+    (* Replay the pre-drawn serve-level crash plan: each planned crash
+       aborts one attempt; Recovery.with_retry below re-runs the solve
+       from scratch (solves are pure in (graph, params, seed), so the
+       replay commits the same result the fault-free run would). *)
+    if q.crashes_left > 0 then begin
+      q.crashes_left <- q.crashes_left - 1;
+      raise (Injector.Injected_crash { site = "serve.solve"; at = q.arrival })
+    end;
+    deadline_hit := false;
+    let rng = P.create q.params.Protocol.seed in
+    match q.params.Protocol.algo with
+    | Protocol.Greedy ->
+        (* Single-shot: no round structure, so the deadline is checked
+           once, up front. *)
+        if cancel ~rounds_run:0 then
+          result_json ~algo:Protocol.Greedy
+            ~m:(M.create (G.n q.graph))
+            ~g:q.graph ~rounds:0 ~passes:0 ~mpc_rounds:0
+        else
+          let m = Wm_algos.Greedy.by_weight q.graph in
+          result_json ~algo:Protocol.Greedy ~m ~g:q.graph ~rounds:0 ~passes:1
+            ~mpc_rounds:0
+    | Protocol.Streaming ->
+        let s = ES.of_graph q.graph in
+        let r = Wm_core.Model_driver.streaming ~cancel params rng s in
+        if r.Wm_core.Model_driver.cancelled then deadline_hit := true;
+        result_json ~algo:Protocol.Streaming ~m:r.Wm_core.Model_driver.matching
+          ~g:q.graph ~rounds:r.Wm_core.Model_driver.rounds_run
+          ~passes:r.Wm_core.Model_driver.passes ~mpc_rounds:0
+    | Protocol.Mpc ->
+        let machines = Stdlib.max 2 (G.m q.graph / Stdlib.max 1 (G.n q.graph)) in
+        let cluster =
+          Wm_mpc.Cluster.create ~machines ~memory_words:(16 * G.n q.graph * 10)
+            ()
+        in
+        let r = Wm_core.Model_driver.mpc ~cancel params rng cluster q.graph in
+        if r.Wm_core.Model_driver.cancelled then deadline_hit := true;
+        result_json ~algo:Protocol.Mpc ~m:r.Wm_core.Model_driver.matching
+          ~g:q.graph ~rounds:r.Wm_core.Model_driver.rounds_run ~passes:0
+          ~mpc_rounds:r.Wm_core.Model_driver.rounds
+  in
+  match
+    Recovery.with_retry ~attempts ~site:"serve.solve"
+      ~on_retry:(fun ~attempt:_ ~backoff:_ -> Obs.incr c_retries)
+      body
+  with
+  | result -> if !deadline_hit then `Deadline result else `Ok result
+  | exception Injector.Budget_exhausted { site; attempts } ->
+      `Error
+        (Printf.sprintf "fault budget exhausted at %s after %d attempts" site
+           attempts)
+  | exception Wm_mpc.Cluster.Memory_exceeded { machine; used; capacity } ->
+      `Error
+        (Printf.sprintf "machine %d exceeded memory (%d > %d words)" machine
+           used capacity)
+
+(* ------------------------------------------------------------------ *)
+(* Batch boundary *)
+
+let split_at k xs =
+  let rec go i acc = function
+    | rest when i = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: tl -> go (i - 1) (x :: acc) tl
+  in
+  go k [] xs
+
+let flush t =
+  if t.queue_len = 0 then []
+  else begin
+    let batch = List.rev t.queue in
+    t.queue <- [];
+    t.queue_len <- 0;
+    t.batchno <- t.batchno + 1;
+    Obs.incr c_batches;
+    Obs.observe h_batch (List.length batch);
+    (* Injected queue pressure: the admitted batch is squeezed to a
+       keep-fraction; the tail is shed with explicit overloaded
+       responses (graceful degradation — clients retry, nothing hangs). *)
+    let batch, squeezed =
+      match Injector.memory_pressure t.inj ~at:t.batchno with
+      | Some keep ->
+          let n = List.length batch in
+          let keep_n = Stdlib.max 1 (int_of_float (keep *. float_of_int n)) in
+          split_at keep_n batch
+      | None -> (batch, [])
+    in
+    (* Cache lookups in arrival order: the recency bumps are part of the
+       deterministic LRU state. *)
+    let looked = List.map (fun q -> (q, Cache.find t.cache q.key)) batch in
+    (* Deduplicate misses by result key — compatible requests are the
+       batch scheduler's unit of work; one job per distinct key, in
+       first-arrival order. *)
+    let leader = Hashtbl.create 16 in
+    let jobs =
+      List.filter_map
+        (fun (q, hit) ->
+          match hit with
+          | Some _ -> None
+          | None ->
+              if Hashtbl.mem leader q.key then None
+              else begin
+                Hashtbl.add leader q.key q.arrival;
+                Some q
+              end)
+        looked
+    in
+    let outcomes =
+      Wm_par.Pool.map (Wm_par.Pool.default ())
+        (fun q -> (q.key, execute t q))
+        jobs
+    in
+    let by_key = Hashtbl.create 16 in
+    List.iter (fun (k, o) -> Hashtbl.replace by_key k o) outcomes;
+    (* Completed (non-cancelled) results enter the cache in
+       first-arrival key order — deterministic LRU contents. *)
+    List.iter
+      (fun q ->
+        match Hashtbl.find_opt by_key q.key with
+        | Some (`Ok result) -> Cache.add t.cache q.key result
+        | Some (`Deadline _) | Some (`Error _) | None -> ())
+      jobs;
+    Ledger.record Ledger.default ~section:"serve.batches"
+      [
+        ("batch", t.batchno);
+        ("size", List.length looked + List.length squeezed);
+        ("unique", List.length jobs);
+        ("shed", List.length squeezed);
+      ];
+    let respond (q, hit) =
+      let status, cached, fields =
+        match hit with
+        | Some result ->
+            ("ok", true, [ ("cached", J.Bool true); ("result", result) ])
+        | None -> (
+            match Hashtbl.find_opt by_key q.key with
+            | Some (`Ok result) ->
+                (* Within-batch duplicates of the leader are cache hits
+                   against the entry the leader just inserted. *)
+                let is_leader = Hashtbl.find_opt leader q.key = Some q.arrival in
+                ( "ok",
+                  not is_leader,
+                  [ ("cached", J.Bool (not is_leader)); ("result", result) ] )
+            | Some (`Deadline result) ->
+                ( "deadline",
+                  false,
+                  [ ("cached", J.Bool false); ("result", result) ] )
+            | Some (`Error msg) -> ("error", false, [ ("error", J.Str msg) ])
+            | None -> assert false)
+      in
+      (match status with
+      | "ok" -> if cached then Obs.incr c_hits else Obs.incr c_misses
+      | "deadline" ->
+          Obs.incr c_misses;
+          Obs.incr c_deadline
+      | _ ->
+          Obs.incr c_misses;
+          Obs.incr c_errors);
+      let lat = Obs.now_ns () - q.enqueued_ns in
+      Obs.observe h_latency lat;
+      ledger_row t ~label:"solve" ~id:q.id ~cached ~status ~latency_ns:lat;
+      Protocol.response ~id:q.id ~status
+        (("digest", J.Str q.digest) :: fields)
+    in
+    let solve_resps = List.map respond looked in
+    let shed_resps =
+      List.map
+        (fun q ->
+          Obs.incr c_overloaded;
+          Obs.incr c_shed;
+          let lat = Obs.now_ns () - q.enqueued_ns in
+          Obs.observe h_latency lat;
+          ledger_row t ~label:"solve" ~id:q.id ~cached:false
+            ~status:"overloaded" ~latency_ns:lat;
+          Protocol.response ~id:q.id ~status:"overloaded"
+            [ ("reason", J.Str "queue_pressure") ])
+        squeezed
+    in
+    (* The squeezed tail follows the kept head, so the concatenation is
+       in arrival order. *)
+    solve_resps @ shed_resps
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Admission *)
+
+let admit t ~id ~(digest : string option) (params : Protocol.solve_params) =
+  let fail msg =
+    Obs.incr c_errors;
+    ledger_row t ~label:"solve" ~id ~cached:false ~status:"error" ~latency_ns:0;
+    [ Protocol.error_response ~id msg ]
+  in
+  match (match digest with Some d -> Some d | None -> t.last) with
+  | None -> fail "no session loaded (load a graph first)"
+  | Some d -> (
+      match Hashtbl.find_opt t.sessions d with
+      | None -> fail (Printf.sprintf "unknown session digest %s" d)
+      | Some g ->
+          if t.queue_len >= t.config.queue_depth then begin
+            (* Admission control: bounded queue, explicit rejection. *)
+            Obs.incr c_overloaded;
+            ledger_row t ~label:"solve" ~id ~cached:false ~status:"overloaded"
+              ~latency_ns:0;
+            [
+              Protocol.response ~id ~status:"overloaded"
+                [ ("reason", J.Str "queue_full") ];
+            ]
+          end
+          else begin
+            Obs.incr c_solves;
+            (* Chaos pre-draws (sequential, request-loop domain): a
+               straggler hit expires the request's deadline at a
+               deterministic round; the crash plan counts how many
+               attempts will be aborted before one succeeds. *)
+            let expire_round =
+              match Injector.straggler t.inj ~site:"serve.deadline" ~at:t.reqno with
+              | 0 -> None
+              | k -> Some k
+            in
+            let attempts = (Injector.spec t.inj).Spec.max_attempts in
+            let rec crash_plan k =
+              if k >= attempts then k
+              else
+                match
+                  Injector.crash t.inj ~site:"serve.solve" ~at:t.reqno
+                    ~machines:1
+                with
+                | () -> k
+                | exception Injector.Injected_crash _ -> crash_plan (k + 1)
+            in
+            let crashes_left = crash_plan 0 in
+            let now = Obs.now_ns () in
+            let deadline_ns =
+              match (params.Protocol.deadline_ms, t.config.deadline_ms) with
+              | Some ms, _ -> Some (now + (ms * 1_000_000))
+              | None, ms when ms > 0 -> Some (now + (ms * 1_000_000))
+              | None, _ -> None
+            in
+            t.queue <-
+              {
+                arrival = t.reqno;
+                id;
+                digest = d;
+                graph = g;
+                params;
+                key = Protocol.cache_key ~digest:d params;
+                enqueued_ns = now;
+                expire_round;
+                crashes_left;
+                deadline_ns;
+              }
+              :: t.queue;
+            t.queue_len <- t.queue_len + 1;
+            []
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Non-solve verbs *)
+
+let load t ~id ~graph ~path =
+  let started = Obs.now_ns () in
+  let finish ~status resp =
+    (if status = "error" then Obs.incr c_errors else Obs.incr c_loads);
+    ledger_row t ~label:"load" ~id ~cached:false ~status
+      ~latency_ns:(Obs.now_ns () - started);
+    resp
+  in
+  match
+    match (graph, path) with
+    | Some text, _ -> Wm_graph.Graph_io.of_string text
+    | None, Some p -> Wm_graph.Graph_io.read_file p
+    | None, None -> invalid_arg "load: no graph or path"
+  with
+  | g ->
+      let d = Wm_graph.Graph_io.digest g in
+      if not (Hashtbl.mem t.sessions d) then t.order <- t.order @ [ d ];
+      Hashtbl.replace t.sessions d g;
+      t.last <- Some d;
+      finish ~status:"ok"
+        (Protocol.response ~id ~status:"ok"
+           [
+             ("digest", J.Str d);
+             ("n", J.Int (G.n g));
+             ("m", J.Int (G.m g));
+             ("total_weight", J.Int (G.total_weight g));
+           ])
+  | exception Wm_graph.Graph_io.Parse_error { line; msg } ->
+      finish ~status:"error"
+        (Protocol.error_response ~id
+           (Printf.sprintf "input line %d: %s" line msg))
+  | exception Sys_error msg ->
+      finish ~status:"error" (Protocol.error_response ~id msg)
+  | exception Invalid_argument msg ->
+      finish ~status:"error" (Protocol.error_response ~id msg)
+
+(* Deterministic service snapshot: every field is a pure function of the
+   request history (no wall-clock values), so stats responses diff clean
+   across --jobs settings. *)
+let stats_response t ~id =
+  let sessions =
+    List.map
+      (fun d ->
+        let g = Hashtbl.find t.sessions d in
+        J.Obj [ ("digest", J.Str d); ("n", J.Int (G.n g)); ("m", J.Int (G.m g)) ])
+      t.order
+  in
+  ledger_row t ~label:"stats" ~id ~cached:false ~status:"ok" ~latency_ns:0;
+  Protocol.response ~id ~status:"ok"
+    [
+      ("sessions", J.List sessions);
+      ( "cache",
+        J.Obj
+          [
+            ("entries", J.Int (Cache.length t.cache));
+            ("capacity", J.Int (Cache.capacity t.cache));
+            ("hits", J.Int (Obs.value c_hits));
+            ("misses", J.Int (Obs.value c_misses));
+            ("evictions", J.Int (Cache.evictions t.cache));
+          ] );
+      ("requests", J.Int t.reqno);
+      ("batches", J.Int t.batchno);
+      ("queue_depth", J.Int t.config.queue_depth);
+      ( "counters",
+        J.Obj
+          (List.map
+             (fun (k, c) -> (k, J.Int (Obs.value c)))
+             [
+               ("loads", c_loads);
+               ("solves", c_solves);
+               ("overloaded", c_overloaded);
+               ("shed_requests", c_shed);
+               ("deadline_expired", c_deadline);
+               ("retries", c_retries);
+               ("errors", c_errors);
+               ("evicts", c_evicts);
+             ]) );
+    ]
+
+let evict t ~id ~digest =
+  match digest with
+  | None ->
+      let ns = Hashtbl.length t.sessions in
+      let nr = Cache.length t.cache in
+      Hashtbl.reset t.sessions;
+      t.order <- [];
+      t.last <- None;
+      Cache.clear t.cache;
+      Obs.incr c_evicts;
+      ledger_row t ~label:"evict" ~id ~cached:false ~status:"ok" ~latency_ns:0;
+      Protocol.response ~id ~status:"ok"
+        [ ("evicted_sessions", J.Int ns); ("evicted_results", J.Int nr) ]
+  | Some d -> (
+      match Hashtbl.find_opt t.sessions d with
+      | None ->
+          Obs.incr c_errors;
+          ledger_row t ~label:"evict" ~id ~cached:false ~status:"error"
+            ~latency_ns:0;
+          [ Protocol.error_response ~id
+              (Printf.sprintf "unknown session digest %s" d) ]
+          |> List.hd
+      | Some _ ->
+          Hashtbl.remove t.sessions d;
+          t.order <- List.filter (fun x -> x <> d) t.order;
+          (if t.last = Some d then
+             t.last <-
+               (match List.rev t.order with [] -> None | x :: _ -> Some x));
+          (* Cached results of an evicted graph must not outlive it. *)
+          let dropped =
+            Cache.remove_where t.cache (fun k ->
+                String.starts_with ~prefix:(d ^ "|") k)
+          in
+          Obs.incr c_evicts;
+          ledger_row t ~label:"evict" ~id ~cached:false ~status:"ok"
+            ~latency_ns:0;
+          Protocol.response ~id ~status:"ok"
+            [ ("evicted_sessions", J.Int 1); ("evicted_results", J.Int dropped) ])
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch *)
+
+let handle_request t (req : Protocol.request) =
+  t.reqno <- t.reqno + 1;
+  Obs.incr c_requests;
+  if t.stopped then begin
+    Obs.incr c_errors;
+    [ Protocol.error_response ~id:req.Protocol.id "server stopped" ]
+  end
+  else
+    match req.Protocol.verb with
+    | Protocol.Solve { digest; params } ->
+        admit t ~id:req.Protocol.id ~digest params
+    | Protocol.Load { graph; path } ->
+        (* Every non-solve verb is a batch boundary: queued solves run
+           (and are answered) first, so responses stay in arrival order
+           and the verb observes the post-batch state.  The explicit
+           [let] matters: [@] evaluates its right operand first. *)
+        let flushed = flush t in
+        flushed @ [ load t ~id:req.Protocol.id ~graph ~path ]
+    | Protocol.Stats ->
+        let flushed = flush t in
+        flushed @ [ stats_response t ~id:req.Protocol.id ]
+    | Protocol.Evict { digest } ->
+        let flushed = flush t in
+        flushed @ [ evict t ~id:req.Protocol.id ~digest ]
+    | Protocol.Shutdown ->
+        let flushed = flush t in
+        t.stopped <- true;
+        Obs.incr c_shutdowns;
+        ledger_row t ~label:"shutdown" ~id:req.Protocol.id ~cached:false
+          ~status:"ok" ~latency_ns:0;
+        let resp =
+          Protocol.response ~id:req.Protocol.id ~status:"ok"
+            [ ("stopped", J.Bool true) ]
+        in
+        if t.config.destroy_pool_on_shutdown then
+          Wm_par.Pool.destroy (Wm_par.Pool.default ());
+        flushed @ [ resp ]
+
+let handle_line t line =
+  if String.trim line = "" then flush t
+  else
+    match Protocol.parse_request line with
+    | Ok req -> handle_request t req
+    | Error msg ->
+        t.reqno <- t.reqno + 1;
+        Obs.incr c_requests;
+        Obs.incr c_errors;
+        ledger_row t ~label:"malformed" ~id:0 ~cached:false ~status:"error"
+          ~latency_ns:0;
+        [ Protocol.error_response ~id:0 msg ]
+
+let eof t = flush t
+
+let run t ic oc =
+  let emit resps =
+    List.iter
+      (fun j ->
+        output_string oc (J.to_string j);
+        output_char oc '\n')
+      resps;
+    Stdlib.flush oc
+  in
+  let rec loop () =
+    if t.stopped then ()
+    else
+      match input_line ic with
+      | line ->
+          emit (handle_line t line);
+          loop ()
+      | exception End_of_file -> emit (eof t)
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+let report_json t =
+  let obs_json = Obs.to_json Obs.default in
+  let histograms =
+    match J.member "histograms" obs_json with Some h -> h | None -> J.Obj []
+  in
+  let serve =
+    J.Obj
+      [
+        ("requests", J.Int t.reqno);
+        ("batches", J.Int t.batchno);
+        ("sessions", J.Int (Hashtbl.length t.sessions));
+        ("queue_depth", J.Int t.config.queue_depth);
+        ( "counters",
+          J.Obj
+            (List.map
+               (fun (k, c) -> (k, J.Int (Obs.value c)))
+               [
+                 ("requests", c_requests);
+                 ("loads", c_loads);
+                 ("solves", c_solves);
+                 ("overloaded", c_overloaded);
+                 ("shed_requests", c_shed);
+                 ("deadline_expired", c_deadline);
+                 ("retries", c_retries);
+                 ("errors", c_errors);
+                 ("batches", c_batches);
+                 ("evicts", c_evicts);
+                 ("shutdowns", c_shutdowns);
+               ]) );
+        ( "cache",
+          J.Obj
+            [
+              ("entries", J.Int (Cache.length t.cache));
+              ("capacity", J.Int (Cache.capacity t.cache));
+              ("hits", J.Int (Obs.value c_hits));
+              ("misses", J.Int (Obs.value c_misses));
+              ("evictions", J.Int (Cache.evictions t.cache));
+            ] );
+      ]
+  in
+  J.Obj
+    [
+      ("schema", J.Str "BENCH_v1");
+      ("mode", J.Str "serve");
+      ("seed", J.Int 0);
+      ("jobs", J.Int (Wm_par.Pool.default_jobs ()));
+      ("experiments", J.List []);
+      ("micro", J.List []);
+      ("serve", serve);
+      ("obs", obs_json);
+      ("histograms", histograms);
+      ("ledger", Ledger.to_json Ledger.default);
+      ("faults", Recovery.report_json ());
+      ("trace_meta", Wm_obs.Trace.meta ());
+    ]

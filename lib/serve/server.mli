@@ -1,0 +1,92 @@
+(** The long-running matching service.
+
+    A server owns a {e session store} of loaded CSR graphs keyed by
+    content digest, a bounded {e solve queue}, and an LRU {e result
+    cache} ({!Cache}).  Solve requests are admitted into the queue (or
+    rejected with an ["overloaded"] response when the queue is at
+    [queue_depth] — admission control never blocks and never hangs) and
+    executed as a {e batch} at the next batch boundary (any non-solve
+    request, a blank line, or end of input).  A batch is deduplicated by
+    result-cache key — identical solves are computed once — and the
+    distinct jobs fan out across the default {!Wm_par.Pool}, whose
+    order-preserving [map] plus per-request seeds make every response
+    body byte-identical at any [--jobs] setting.
+
+    {b Deadlines.}  Each solve carries an optional wall-clock deadline
+    (request [deadline_ms], else the server default).  Deadlines are
+    enforced {e cooperatively}: the drivers consult the request's cancel
+    hook at improvement-round boundaries
+    ({!Wm_core.Model_driver.streaming}/[mpc]) and stop with the last
+    committed matching, answered as [status = "deadline"].
+
+    {b Chaos.}  The [faults] spec drives deterministic request-level
+    chaos through a private {!Wm_fault.Injector} (section
+    [serve.faults]): per-request injected crashes are replayed through
+    {!Wm_fault.Recovery.with_retry} (billed to [fault.retries] /
+    [serve.retries]; exhausting the budget yields an ["error"]
+    response, never a dead server), straggler draws inject deadline
+    expiry at a deterministic round, and per-batch memory pressure
+    squeezes the admitted batch — the tail is answered ["overloaded"].
+    All draws happen sequentially on the request-loop domain, so the
+    chaos pattern — and therefore every response — is byte-identical at
+    any [--jobs].
+
+    {b Observability.}  Every request bumps [serve.*] counters, lands
+    one row in the [serve.requests] ledger section, and records its
+    latency in the [serve.latency_ns] histogram; a [serve.queue_depth]
+    gauge tracks queue occupancy.  {!report_json} snapshots everything
+    as a BENCH_v1 report with a [serve] block. *)
+
+type config = {
+  queue_depth : int;  (** max queued solves per batch (default 16) *)
+  cache_entries : int;  (** LRU result-cache capacity (default 64) *)
+  deadline_ms : int;
+      (** default per-solve wall-clock deadline; [0] disables *)
+  faults : Wm_fault.Spec.t;  (** request-chaos plan *)
+  destroy_pool_on_shutdown : bool;
+      (** tear down the default pool when [shutdown] is acknowledged
+          (the CLI sets this; in-process embedders usually keep the
+          pool) *)
+}
+
+val default_config : unit -> config
+(** Defaults as above, with [faults] = the process-wide
+    {!Wm_fault.Spec.default} and [destroy_pool_on_shutdown = false]. *)
+
+type t
+
+val create : config -> t
+
+val stopped : t -> bool
+(** True once a [shutdown] request has been acknowledged; further
+    requests are answered with an error. *)
+
+val handle_line : t -> string -> Wm_obs.Json.t list
+(** Process one input line and return the responses to emit, in order.
+    Queued solves return [[]] until a batch boundary; a blank line is a
+    pure boundary (flush, no own response). *)
+
+val handle_request : t -> Protocol.request -> Wm_obs.Json.t list
+(** As {!handle_line}, from an already-parsed request (the in-process
+    embedding used by the load generator and the tests). *)
+
+val flush : t -> Wm_obs.Json.t list
+(** Force a batch boundary: execute the queued solves and return their
+    responses in arrival order. *)
+
+val eof : t -> Wm_obs.Json.t list
+(** End of input: {!flush}. *)
+
+val run : t -> in_channel -> out_channel -> unit
+(** The stdin/stdout transport: read request lines until EOF or
+    [shutdown], emitting each response as one compact JSON line
+    (flushed per batch). *)
+
+val sessions : t -> (string * int * int) list
+(** Loaded sessions as [(digest, n, m)] in load order (for tests). *)
+
+val report_json : t -> Wm_obs.Json.t
+(** A BENCH_v1 report (mode ["serve"], empty [experiments]) whose
+    [serve] block carries the request/batch/cache tallies next to the
+    usual [obs]/[histograms]/[ledger]/[faults]/[trace_meta] sections —
+    validated by [bench/json_check.exe]. *)

@@ -554,6 +554,29 @@ let test_io_errors () =
   expect_error ~line:3 ~msg:"duplicate edge" "p wm 3 2\ne 0 1 2\ne 1 0 5\n";
   expect_error ~line:1 "p wm -3 0\n"
 
+(* The content digest must identify the canonicalized edge multiset:
+   invariant under edge order and endpoint order, sensitive to n,
+   weights and membership. *)
+let test_io_digest_invariance () =
+  let es = [ E.make 0 1 4; E.make 2 3 6; E.make 1 3 2 ] in
+  let g = G.create ~n:5 es in
+  let d = IO.digest g in
+  check_bool "hex shape" true
+    (String.length d = 16
+    && String.for_all
+         (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+         d);
+  check_bool "edge order irrelevant" true
+    (d = IO.digest (G.create ~n:5 (List.rev es)));
+  check_bool "endpoint order irrelevant" true
+    (d = IO.digest (G.create ~n:5 [ E.make 1 0 4; E.make 3 2 6; E.make 3 1 2 ]));
+  check_bool "roundtrip stable" true (d = IO.digest (IO.of_string (IO.to_string g)));
+  check_bool "n matters" true (d <> IO.digest (G.create ~n:6 es));
+  check_bool "weight matters" true
+    (d <> IO.digest (G.create ~n:5 [ E.make 0 1 5; E.make 2 3 6; E.make 1 3 2 ]));
+  check_bool "membership matters" true
+    (d <> IO.digest (G.create ~n:5 [ E.make 0 1 4; E.make 2 3 6 ]))
+
 let test_io_matching_roundtrip () =
   let m = M.of_edges 5 [ E.make 0 1 4; E.make 2 3 6 ] in
   let m' = IO.matching_of_string (IO.matching_to_string m) in
@@ -782,6 +805,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
           Alcotest.test_case "comments" `Quick test_io_comments_and_blanks;
           Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "digest invariance" `Quick
+            test_io_digest_invariance;
           Alcotest.test_case "matching roundtrip" `Quick test_io_matching_roundtrip;
           Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
         ] );

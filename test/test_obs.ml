@@ -402,6 +402,68 @@ let test_ledger_concurrent () =
   List.iter Domain.join workers;
   check "no lost rows" (4 * per_domain) (List.length (Ledger.rows l "par"))
 
+(* Property: under concurrent writers fanned out through the domain
+   pool, the ledger loses nothing and keeps its deterministic structure
+   — section order stays the (sequentially established) first-seen
+   order whatever the interleaving, and per-section field sums equal
+   the totals each domain's plan was going to contribute. *)
+let test_ledger_pool_writers =
+  QCheck2.Test.make ~name:"pool writers: section order and field sums"
+    ~count:20
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let l = Ledger.create () in
+      let sections = [ "s0"; "s1"; "s2"; "s3" ] in
+      List.iter
+        (fun s -> Ledger.record l ~section:s [ ("v", 0); ("rows", 0) ])
+        sections;
+      let plan d =
+        let rng = Wm_graph.Prng.create (seed + d) in
+        List.init 200 (fun _ ->
+            (List.nth sections (Wm_graph.Prng.int rng 4),
+             1 + Wm_graph.Prng.int rng 50))
+      in
+      let plans = List.init 4 plan in
+      let expected_sum s =
+        List.fold_left
+          (fun acc pl ->
+            List.fold_left
+              (fun acc (s', v) -> if s' = s then acc + v else acc)
+              acc pl)
+          0 plans
+      in
+      let expected_rows s =
+        List.fold_left
+          (fun acc pl ->
+            acc + List.length (List.filter (fun (s', _) -> s' = s) pl))
+          0 plans
+      in
+      let pool = Wm_par.Pool.create ~domains:4 in
+      Fun.protect
+        ~finally:(fun () -> Wm_par.Pool.destroy pool)
+        (fun () ->
+          ignore
+            (Wm_par.Pool.map pool
+               (fun pl ->
+                 List.iter
+                   (fun (s, v) ->
+                     Ledger.record l ~section:s [ ("v", v); ("rows", 1) ])
+                   pl)
+               plans));
+      let field k (r : Ledger.row) =
+        match List.assoc_opt k r.Ledger.fields with Some v -> v | None -> 0
+      in
+      Ledger.sections l = sections
+      && List.for_all
+           (fun s ->
+             let rows = Ledger.rows l s in
+             List.fold_left (fun acc r -> acc + field "v" r) 0 rows
+             = expected_sum s
+             && List.fold_left (fun acc r -> acc + field "rows" r) 0 rows
+                = expected_rows s
+             && List.length rows = 1 + expected_rows s)
+           sections)
+
 (* ------------------------------------------------------------------ *)
 (* JSON parser *)
 
@@ -517,6 +579,7 @@ let () =
             test_ledger_rows_and_sections;
           Alcotest.test_case "concurrent records" `Quick
             test_ledger_concurrent;
+          QCheck_alcotest.to_alcotest test_ledger_pool_writers;
         ] );
       ( "json",
         [

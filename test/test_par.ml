@@ -299,6 +299,35 @@ let test_span_paths_jobs_invariant () =
            p1))
 
 (* ------------------------------------------------------------------ *)
+(* Destroy semantics: the serving layer tears the default pool down on
+   shutdown, and the process at_exit hook destroys it again — destroy
+   must be idempotent, and using a destroyed pool must fail loudly
+   instead of hanging on a dead work queue. *)
+
+let test_destroy_idempotent () =
+  let pool = Pool.create ~domains:3 in
+  check "configured size" 3 (Pool.size pool);
+  (* Repeated destroys join disjoint worker sets: the calls below must
+     return (no hang on a dead queue, no double-join crash). *)
+  Pool.destroy pool;
+  Pool.destroy pool;
+  Pool.destroy pool
+
+let test_map_after_destroy_raises () =
+  let pool = Pool.create ~domains:2 in
+  check_bool "usable before destroy" true
+    (Pool.map pool (fun x -> x + 1) [ 1; 2; 3 ] = [ 2; 3; 4 ]);
+  Pool.destroy pool;
+  (match Pool.map pool (fun x -> x + 1) [ 1; 2; 3 ] with
+  | _ -> Alcotest.fail "map on a destroyed pool returned"
+  | exception Invalid_argument msg ->
+      check_bool "one-line diagnostic" true
+        (String.length msg > 0 && not (String.contains msg '\n')));
+  match Pool.parallel_map_array pool (fun x -> x) [| 1 |] with
+  | _ -> Alcotest.fail "parallel_map_array on a destroyed pool returned"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   ignore B.halves;
@@ -318,6 +347,10 @@ let () =
             test_exception_poisons_call_only;
           Alcotest.test_case "default pool resize" `Quick
             test_default_pool_resize;
+          Alcotest.test_case "destroy idempotent" `Quick
+            test_destroy_idempotent;
+          Alcotest.test_case "map after destroy raises" `Quick
+            test_map_after_destroy_raises;
         ] );
       ( "csr-graph",
         [

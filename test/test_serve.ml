@@ -1,0 +1,487 @@
+(* Tests for the wm_serve serving layer:
+
+   - WM_REQ_v1 parsing: defaults, validation, one-line errors;
+   - the LRU result cache: O(1) semantics, recency, eviction accounting;
+   - server behaviour: sessions keyed by content digest, batch
+     deduplication, cache hits that bill zero new solver resources,
+     bounded-queue admission control, eviction, cooperative
+     deadline cancellation, jobs-invariant response bodies;
+   - shutdown destroying the default pool (and the pool surviving it). *)
+
+module J = Wm_obs.Json
+module Obs = Wm_obs.Obs
+module G = Wm_graph.Weighted_graph
+module P = Wm_graph.Prng
+module Gen = Wm_graph.Gen
+module Protocol = Wm_serve.Protocol
+module Cache = Wm_serve.Cache
+module Server = Wm_serve.Server
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let small_graph seed =
+  let rng = P.create seed in
+  Gen.gnp rng ~n:40 ~p:0.15 ~weights:(Gen.Uniform (1, 50))
+
+let graph_text seed = Wm_graph.Graph_io.to_string (small_graph seed)
+
+let config ?(queue_depth = 16) ?(cache_entries = 64) () =
+  {
+    (Server.default_config ()) with
+    queue_depth;
+    cache_entries;
+    faults = Wm_fault.Spec.none;
+  }
+
+let server ?queue_depth ?cache_entries () =
+  Server.create (config ?queue_depth ?cache_entries ())
+
+let req line =
+  match Protocol.parse_request line with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("unexpected parse error: " ^ e)
+
+let load_graph srv seed =
+  match
+    Server.handle_request srv
+      {
+        Protocol.id = 0;
+        verb = Protocol.Load { graph = Some (graph_text seed); path = None };
+      }
+  with
+  | [ resp ] -> (
+      match J.member "digest" resp with
+      | Some (J.Str d) -> d
+      | _ -> Alcotest.fail "load response lacks digest")
+  | _ -> Alcotest.fail "load did not answer exactly once"
+
+let solve_req ?(id = 1) ?digest ?(algo = "streaming") ?(seed = 5) () =
+  req
+    (Printf.sprintf
+       "{\"schema\":\"WM_REQ_v1\",\"id\":%d,\"verb\":\"solve\",\"algo\":%S,\"seed\":%d%s}"
+       id algo seed
+       (match digest with
+       | Some d -> Printf.sprintf ",\"digest\":%S" d
+       | None -> ""))
+
+let status resp =
+  match J.member "status" resp with
+  | Some (J.Str s) -> s
+  | _ -> Alcotest.fail "response lacks status"
+
+let cached resp = J.member "cached" resp = Some (J.Bool true)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let test_parse_defaults () =
+  match
+    (req "{\"schema\":\"WM_REQ_v1\",\"id\":7,\"verb\":\"solve\"}").Protocol.verb
+  with
+  | Protocol.Solve { digest; params } ->
+      check_bool "digest defaults to latest" true (digest = None);
+      check_bool "algo defaults to streaming" true
+        (params.Protocol.algo = Protocol.Streaming);
+      check "seed default" 42 params.Protocol.seed;
+      check_bool "epsilon default" true (params.Protocol.epsilon = 0.1);
+      check_bool "no deadline" true (params.Protocol.deadline_ms = None)
+  | _ -> Alcotest.fail "not a solve"
+
+let test_parse_latest_normalised () =
+  match
+    (req
+       "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"solve\",\"digest\":\"latest\"}")
+      .Protocol.verb
+  with
+  | Protocol.Solve { digest = None; _ } -> ()
+  | _ -> Alcotest.fail "\"latest\" should normalise to None"
+
+let test_parse_rejects () =
+  let bad line =
+    match Protocol.parse_request line with
+    | Error msg ->
+        check_bool "one-line error" true (not (String.contains msg '\n'))
+    | Ok _ -> Alcotest.fail ("accepted: " ^ line)
+  in
+  bad "not json at all";
+  bad "[1,2,3]";
+  bad "{\"schema\":\"WM_REQ_v2\",\"id\":1,\"verb\":\"stats\"}";
+  bad "{\"schema\":\"WM_REQ_v1\",\"verb\":\"stats\"}";
+  bad "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"frobnicate\"}";
+  bad "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"load\"}";
+  bad "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"solve\",\"epsilon\":1.5}";
+  bad "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"solve\",\"deadline_ms\":0}";
+  bad "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"solve\",\"algo\":\"hungarian\"}"
+
+let test_cache_key_canonical () =
+  let p seed = { Protocol.algo = Protocol.Mpc; epsilon = 0.1; seed; deadline_ms = None } in
+  check_str "stable key" (Protocol.cache_key ~digest:"abc" (p 3))
+    (Protocol.cache_key ~digest:"abc" (p 3));
+  check_bool "seed distinguishes" true
+    (Protocol.cache_key ~digest:"abc" (p 3)
+    <> Protocol.cache_key ~digest:"abc" (p 4));
+  (* the deadline is a delivery constraint, not part of the result
+     identity: keys must agree so deadline-free repeats can hit *)
+  check_str "deadline not in key"
+    (Protocol.cache_key ~digest:"abc" (p 3))
+    (Protocol.cache_key ~digest:"abc"
+       { (p 3) with Protocol.deadline_ms = Some 50 })
+
+(* ------------------------------------------------------------------ *)
+(* LRU cache *)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:3 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Cache.add c "c" 3;
+  check_bool "find bumps recency" true (Cache.find c "a" = Some 1);
+  Cache.add c "d" 4;
+  (* "b" was least recently used *)
+  check_bool "lru evicted" true (not (Cache.mem c "b"));
+  check_bool "bumped survives" true (Cache.mem c "a");
+  check "evictions counted" 1 (Cache.evictions c);
+  check_bool "mru order" true (Cache.keys c = [ "d"; "a"; "c" ])
+
+let test_cache_replace_and_remove () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "a" 1;
+  Cache.add c "a" 10;
+  check "replace keeps one entry" 1 (Cache.length c);
+  check_bool "replaced value" true (Cache.find c "a" = Some 10);
+  Cache.add c "b" 2;
+  check "remove_where prefix" 1
+    (Cache.remove_where c (fun k -> String.length k = 1 && k.[0] = 'a'));
+  check_bool "removed" true (not (Cache.mem c "a"));
+  check "removals are not evictions" 0 (Cache.evictions c);
+  Cache.clear c;
+  check "cleared" 0 (Cache.length c)
+
+let test_cache_disabled () =
+  let c = Cache.create ~capacity:0 in
+  Cache.add c "a" 1;
+  check "nothing stored" 0 (Cache.length c);
+  check_bool "always misses" true (Cache.find c "a" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Server *)
+
+let test_load_and_digest () =
+  let srv = server () in
+  let d = load_graph srv 7 in
+  check_str "session digest is the content digest"
+    (Wm_graph.Graph_io.digest (small_graph 7))
+    d;
+  (match Server.sessions srv with
+  | [ (d', n, m) ] ->
+      check_str "stored" d d';
+      check "n" (G.n (small_graph 7)) n;
+      check "m" (G.m (small_graph 7)) m
+  | _ -> Alcotest.fail "expected one session");
+  (* reloading the same graph is keyed to the same session *)
+  let d2 = load_graph srv 7 in
+  check_str "idempotent load" d d2;
+  check "still one session" 1 (List.length (Server.sessions srv))
+
+let test_solve_and_cache_bills_zero () =
+  let srv = server () in
+  let _ = load_graph srv 3 in
+  let first =
+    let immediate = Server.handle_request srv (solve_req ~id:1 ()) in
+    immediate @ Server.flush srv
+  in
+  (match first with
+  | [ r ] ->
+      check_str "ok" "ok" (status r);
+      check_bool "first is a miss" true (not (cached r))
+  | _ -> Alcotest.fail "expected one response");
+  (* A repeat solve must be answered from the result cache: identical
+     body, cached=true, and zero new solver work billed anywhere. *)
+  let passes0 = Obs.counter_value Obs.default "stream.passes" in
+  let rounds0 = Obs.counter_value Obs.default "core.main_alg.rounds" in
+  let repeat =
+    let immediate = Server.handle_request srv (solve_req ~id:2 ()) in
+    immediate @ Server.flush srv
+  in
+  (match (first, repeat) with
+  | [ r1 ], [ r2 ] ->
+      check_bool "repeat is a hit" true (cached r2);
+      check_bool "identical result body" true
+        (J.member "result" r1 = J.member "result" r2)
+  | _ -> Alcotest.fail "expected one response each");
+  check "no new stream passes" passes0
+    (Obs.counter_value Obs.default "stream.passes");
+  check "no new improvement rounds" rounds0
+    (Obs.counter_value Obs.default "core.main_alg.rounds")
+
+let test_batch_dedup () =
+  let srv = server () in
+  let _ = load_graph srv 3 in
+  ignore (Server.handle_request srv (solve_req ~id:1 ()));
+  ignore (Server.handle_request srv (solve_req ~id:2 ()));
+  ignore (Server.handle_request srv (solve_req ~id:3 ~seed:6 ()));
+  let passes0 = Obs.counter_value Obs.default "stream.passes" in
+  match Server.flush srv with
+  | [ r1; r2; r3 ] ->
+      check_bool "leader computed" true (not (cached r1));
+      check_bool "duplicate joined the leader" true (cached r2);
+      check_bool "distinct params computed" true (not (cached r3));
+      check_bool "bodies agree" true
+        (J.member "result" r1 = J.member "result" r2);
+      check_bool "some solver work happened" true
+        (Obs.counter_value Obs.default "stream.passes" > passes0)
+  | rs -> Alcotest.fail (Printf.sprintf "expected 3 responses, got %d" (List.length rs))
+
+let test_admission_control () =
+  let srv = server ~queue_depth:2 () in
+  let _ = load_graph srv 3 in
+  check "first admitted" 0
+    (List.length (Server.handle_request srv (solve_req ~id:1 ())));
+  check "second admitted" 0
+    (List.length (Server.handle_request srv (solve_req ~id:2 ~seed:6 ())));
+  (match Server.handle_request srv (solve_req ~id:3 ~seed:7 ()) with
+  | [ r ] -> check_str "third rejected" "overloaded" (status r)
+  | _ -> Alcotest.fail "expected an immediate rejection");
+  (* the rejection is per-batch: after the boundary there is room again *)
+  check "batch answered" 2 (List.length (Server.flush srv));
+  check "admitted after flush" 0
+    (List.length (Server.handle_request srv (solve_req ~id:4 ~seed:7 ())));
+  check "tail batch answered" 1 (List.length (Server.flush srv))
+
+let test_solve_errors () =
+  let srv = server () in
+  (match Server.handle_request srv (solve_req ~id:1 ()) with
+  | [ r ] -> check_str "no session" "error" (status r)
+  | _ -> Alcotest.fail "expected an error response");
+  let _ = load_graph srv 3 in
+  match Server.handle_request srv (solve_req ~id:2 ~digest:"beef" ()) with
+  | [ r ] -> check_str "unknown digest" "error" (status r)
+  | _ -> Alcotest.fail "expected an error response"
+
+let test_evict_purges_cache () =
+  let srv = server () in
+  let d = load_graph srv 3 in
+  ignore (Server.handle_request srv (solve_req ~id:1 ()));
+  ignore (Server.flush srv);
+  let resps =
+    Server.handle_request srv
+      (req
+         (Printf.sprintf
+            "{\"schema\":\"WM_REQ_v1\",\"id\":2,\"verb\":\"evict\",\"digest\":%S}"
+            d))
+  in
+  (match resps with
+  | [ r ] ->
+      check_str "evict ok" "ok" (status r);
+      check_bool "one cached result purged" true
+        (J.member "evicted_results" r = Some (J.Int 1))
+  | _ -> Alcotest.fail "expected one response");
+  check "session gone" 0 (List.length (Server.sessions srv));
+  (* a fresh load + solve after the purge recomputes (miss, not hit) *)
+  let _ = load_graph srv 3 in
+  let immediate = Server.handle_request srv (solve_req ~id:3 ()) in
+  match immediate @ Server.flush srv with
+  | [ r ] -> check_bool "recomputed" true (not (cached r))
+  | _ -> Alcotest.fail "expected one response"
+
+let test_blank_line_and_eof_flush () =
+  let srv = server () in
+  let _ = load_graph srv 3 in
+  check "queued silently" 0
+    (List.length
+       (Server.handle_line srv
+          "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"solve\"}"));
+  check "blank line flushes" 1 (List.length (Server.handle_line srv "   "));
+  ignore (Server.handle_request srv (solve_req ~id:2 ~seed:9 ()));
+  check "eof flushes" 1 (List.length (Server.eof srv));
+  match Server.handle_line srv "{not json" with
+  | [ r ] ->
+      check_str "malformed line answered" "error" (status r);
+      check_bool "id 0" true (J.member "id" r = Some (J.Int 0))
+  | _ -> Alcotest.fail "expected one error response"
+
+(* Cooperative cancellation in the drivers (the mechanism behind
+   per-request deadlines): stop at a round boundary with the last
+   committed matching. *)
+let test_driver_cancellation () =
+  let g = small_graph 11 in
+  let params = Wm_core.Params.practical ~epsilon:0.1 () in
+  let full =
+    Wm_core.Model_driver.streaming params (P.create 5)
+      (Wm_stream.Edge_stream.of_graph g)
+  in
+  check_bool "uncancelled run finishes" true
+    (not full.Wm_core.Model_driver.cancelled);
+  let r =
+    Wm_core.Model_driver.streaming
+      ~cancel:(fun ~rounds_run -> rounds_run >= 2)
+      params (P.create 5)
+      (Wm_stream.Edge_stream.of_graph g)
+  in
+  check_bool "cancelled flag" true r.Wm_core.Model_driver.cancelled;
+  check "stopped at the boundary" 2 r.Wm_core.Model_driver.rounds_run;
+  check_bool "partial matching still valid" true
+    (Wm_graph.Matching.is_valid_in r.Wm_core.Model_driver.matching g);
+  let machines = Stdlib.max 2 (G.m g / Stdlib.max 1 (G.n g)) in
+  let cluster =
+    Wm_mpc.Cluster.create ~machines ~memory_words:(16 * G.n g * 10) ()
+  in
+  let rm =
+    Wm_core.Model_driver.mpc
+      ~cancel:(fun ~rounds_run -> rounds_run >= 1)
+      params (P.create 5) cluster g
+  in
+  check_bool "mpc cancelled" true rm.Wm_core.Model_driver.cancelled;
+  check "mpc stopped early" 1 rm.Wm_core.Model_driver.rounds_run
+
+(* The end-to-end determinism contract: the full response transcript of
+   a mixed workload is identical at jobs=1 and jobs=4.  (The stats verb
+   is exercised elsewhere: it reads process-wide counters, which are
+   not reset between the two runs of this test.) *)
+let test_jobs_invariant_transcript () =
+  let lines =
+    [
+      "{\"schema\":\"WM_REQ_v1\",\"id\":2,\"verb\":\"solve\",\"seed\":5}";
+      "{\"schema\":\"WM_REQ_v1\",\"id\":3,\"verb\":\"solve\",\"algo\":\"greedy\"}";
+      "{\"schema\":\"WM_REQ_v1\",\"id\":4,\"verb\":\"solve\",\"algo\":\"mpc\",\"seed\":9}";
+      "{\"schema\":\"WM_REQ_v1\",\"id\":5,\"verb\":\"solve\",\"seed\":5}";
+      "";
+      "{\"schema\":\"WM_REQ_v1\",\"id\":6,\"verb\":\"solve\",\"seed\":6}";
+      "{\"schema\":\"WM_REQ_v1\",\"id\":7,\"verb\":\"evict\"}";
+    ]
+  in
+  let transcript jobs =
+    Wm_par.Pool.set_default_jobs jobs;
+    let srv = server () in
+    let d = load_graph srv 13 in
+    ignore d;
+    List.concat_map (fun l -> List.map J.to_string (Server.handle_line srv l)) lines
+  in
+  let saved = Wm_par.Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Wm_par.Pool.set_default_jobs saved)
+    (fun () ->
+      let t1 = transcript 1 in
+      let t4 = transcript 4 in
+      check "same response count" (List.length t1) (List.length t4);
+      List.iter2 (fun a b -> check_str "byte-identical response" a b) t1 t4)
+
+let test_report_shape () =
+  let srv = server () in
+  let _ = load_graph srv 3 in
+  ignore (Server.handle_request srv (solve_req ~id:1 ()));
+  ignore (Server.flush srv);
+  let r = Server.report_json srv in
+  check_bool "BENCH_v1" true (J.member "schema" r = Some (J.Str "BENCH_v1"));
+  check_bool "serve mode" true (J.member "mode" r = Some (J.Str "serve"));
+  (match J.member "serve" r with
+  | Some s ->
+      check_bool "request tally" true
+        (match J.member "requests" s with Some (J.Int n) -> n >= 2 | _ -> false)
+  | None -> Alcotest.fail "report lacks serve block");
+  check_bool "ledger has serve.requests" true
+    (List.mem "serve.requests"
+       (Wm_obs.Ledger.sections Wm_obs.Ledger.default))
+
+(* Last on purpose: destroys the process-wide default pool.  The
+   shutdown path must leave destroy idempotent (the at_exit hook runs
+   again) and later maps must fail loudly — then a jobs change rebuilds
+   a fresh default pool. *)
+let test_shutdown_destroys_pool () =
+  Wm_par.Pool.set_default_jobs 2;
+  let srv =
+    Server.create
+      { (config ()) with Server.destroy_pool_on_shutdown = true }
+  in
+  let _ = load_graph srv 3 in
+  ignore (Server.handle_request srv (solve_req ~id:1 ()));
+  (match
+     Server.handle_request srv
+       (req "{\"schema\":\"WM_REQ_v1\",\"id\":2,\"verb\":\"shutdown\"}")
+   with
+  | [ solve; ack ] ->
+      check_str "queued solve answered first" "ok" (status solve);
+      check_str "shutdown acked" "ok" (status ack)
+  | _ -> Alcotest.fail "expected flush + ack");
+  check_bool "stopped" true (Server.stopped srv);
+  (match Server.handle_request srv (solve_req ~id:3 ()) with
+  | [ r ] -> check_str "post-shutdown rejected" "error" (status r)
+  | _ -> Alcotest.fail "expected an error response");
+  (match Wm_par.Pool.map (Wm_par.Pool.default ()) (fun x -> x) [ 1 ] with
+  | _ -> Alcotest.fail "map on the destroyed default pool returned"
+  | exception Invalid_argument _ -> ());
+  (* a jobs change clears the dead pool; the next default () is live *)
+  Wm_par.Pool.set_default_jobs 1;
+  check_bool "default pool rebuilt" true
+    (Wm_par.Pool.map (Wm_par.Pool.default ()) (fun x -> x * 2) [ 21 ] = [ 42 ])
+
+(* ------------------------------------------------------------------ *)
+(* Load generator *)
+
+let test_loadgen_accounting () =
+  let srv = server ~queue_depth:4 () in
+  let _ = load_graph srv 3 in
+  let s =
+    Wm_serve.Loadgen.run ~server:srv ~clients:8 ~windows:3 ~distinct:2 ()
+  in
+  check "every request accounted" s.Wm_serve.Loadgen.requests
+    (s.Wm_serve.Loadgen.ok + s.Wm_serve.Loadgen.overloaded
+    + s.Wm_serve.Loadgen.deadline + s.Wm_serve.Loadgen.errors);
+  check "offered load" (8 * 3) s.Wm_serve.Loadgen.requests;
+  check_bool "queue bound enforced" true (s.Wm_serve.Loadgen.overloaded > 0);
+  check_bool "repeats hit the cache" true (s.Wm_serve.Loadgen.cached > 0);
+  check_bool "hit ratio sane" true
+    (Wm_serve.Loadgen.hit_ratio s >= 0. && Wm_serve.Loadgen.hit_ratio s <= 1.);
+  check_bool "latencies measured" true (s.Wm_serve.Loadgen.p99_ns >= s.Wm_serve.Loadgen.p50_ns)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "wm_serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "defaults" `Quick test_parse_defaults;
+          Alcotest.test_case "latest normalised" `Quick
+            test_parse_latest_normalised;
+          Alcotest.test_case "rejects" `Quick test_parse_rejects;
+          Alcotest.test_case "cache key canonical" `Quick
+            test_cache_key_canonical;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "replace and remove" `Quick
+            test_cache_replace_and_remove;
+          Alcotest.test_case "capacity 0 disables" `Quick test_cache_disabled;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "load and digest" `Quick test_load_and_digest;
+          Alcotest.test_case "cache hit bills zero" `Quick
+            test_solve_and_cache_bills_zero;
+          Alcotest.test_case "batch dedup" `Quick test_batch_dedup;
+          Alcotest.test_case "admission control" `Quick test_admission_control;
+          Alcotest.test_case "solve errors" `Quick test_solve_errors;
+          Alcotest.test_case "evict purges cache" `Quick
+            test_evict_purges_cache;
+          Alcotest.test_case "blank line and eof" `Quick
+            test_blank_line_and_eof_flush;
+          Alcotest.test_case "driver cancellation" `Quick
+            test_driver_cancellation;
+          Alcotest.test_case "jobs-invariant transcript" `Slow
+            test_jobs_invariant_transcript;
+          Alcotest.test_case "report shape" `Quick test_report_shape;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "accounting" `Quick test_loadgen_accounting;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "destroys default pool" `Quick
+            test_shutdown_destroys_pool;
+        ] );
+    ]
