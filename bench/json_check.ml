@@ -95,6 +95,35 @@ let () =
             | _ -> fail "%s: serve.counters.%s is not a non-negative int" path k)
           fields
     | _ -> fail "%s: serve block lacks \"counters\" object" path);
+    (* Incremental-session tallies: the block is mandatory (zeros for a
+       mutation-free session) and self-consistent — warm solves cannot
+       outnumber solves, and a mutation-free session cannot have touched
+       edges or vertices. *)
+    (match J.member "incremental" s with
+    | Some (J.Obj _ as inc) ->
+        let get k =
+          match J.member k inc with
+          | Some (J.Int n) when n >= 0 -> n
+          | _ ->
+              fail "%s: serve.incremental lacks non-negative int %S" path k
+        in
+        let mutations = get "mutations" in
+        let touched =
+          get "edges_added" + get "edges_removed" + get "vertices_added"
+        in
+        let warm = get "warm_solves" in
+        if mutations = 0 && touched > 0 then
+          fail "%s: serve.incremental: delta tallies without mutations" path;
+        (match J.member "counters" s with
+        | Some c -> (
+            match J.member "solves" c with
+            | Some (J.Int solves) ->
+                if warm > solves then
+                  fail "%s: serve.incremental: warm_solves %d > solves %d"
+                    path warm solves
+            | _ -> ())
+        | None -> ())
+    | _ -> fail "%s: serve block lacks \"incremental\" object" path);
     match J.member "cache" s with
     | Some (J.Obj _) -> (
         let get k =

@@ -356,7 +356,7 @@ let run_experiments ids quick seed jobs faults =
 (* The serving loop: line-delimited WM_REQ_v1 on stdin, WM_RESP_v1 on
    stdout.  See lib/serve and DESIGN.md §5.3. *)
 
-let run_serve jobs queue_depth cache_entries deadline_ms report faults =
+let run_serve jobs queue_depth cache_entries deadline_ms no_warm report faults =
   if queue_depth < 1 then begin
     Printf.eprintf "wm_cli: --queue-depth must be at least 1\n";
     exit_usage
@@ -379,6 +379,7 @@ let run_serve jobs queue_depth cache_entries deadline_ms report faults =
         deadline_ms;
         faults = Wm_fault.Spec.default ();
         destroy_pool_on_shutdown = true;
+        warm_start = not no_warm;
       }
     in
     let server = Wm_serve.Server.create config in
@@ -572,6 +573,15 @@ let serve_cmd =
              (0 disables; requests may override with their own \
              $(b,deadline_ms) field).")
   in
+  let no_warm_t =
+    Arg.(
+      value & flag
+      & info [ "no-warm" ]
+          ~doc:
+            "Disable warm-started incremental re-solves: every solve \
+             starts from the empty matching even after session \
+             mutations (the cold baseline of experiment T10).")
+  in
   let report_t =
     Arg.(
       value
@@ -586,14 +596,17 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the batched matching service: line-delimited WM_REQ_v1 \
-          JSON requests on stdin (load/solve/stats/evict/shutdown), one \
-          WM_RESP_v1 JSON response per line on stdout.  Solves batch up \
-          to the next non-solve request (or blank line) and fan out \
-          across the worker pool; responses are byte-identical at any \
-          $(b,--jobs).")
+          JSON requests on stdin (load/solve/add_edges/remove_edges/\
+          add_vertices/stats/evict/shutdown), one WM_RESP_v1 JSON \
+          response per line on stdout.  Solves batch up to the next \
+          non-solve request (or blank line) and fan out across the \
+          worker pool; mutation verbs patch a loaded session in place \
+          and re-key it under its new content digest, and later solves \
+          warm-start from the session's last matching; responses are \
+          byte-identical at any $(b,--jobs).")
     Term.(
       const run_serve $ jobs_t $ queue_depth_t $ cache_entries_t
-      $ deadline_ms_t $ report_t $ faults_t)
+      $ deadline_ms_t $ no_warm_t $ report_t $ faults_t)
 
 let version_string = "wm_cli 1.0.0"
 

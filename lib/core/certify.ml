@@ -55,6 +55,30 @@ let rotate_cycle_to_matched edges m =
     else Some (Array.to_list (Array.init len (fun i -> arr.((i + !start) mod len))))
   end
 
+type resolve_check = {
+  valid : bool;
+  warm_weight : int;
+  cold_weight : int;
+  within : bool;
+}
+
+(* Warm re-solve spot-check (incremental serving): a matching produced
+   by warm-starting on a mutated graph must (a) be valid in that graph —
+   no deleted or reweighted edge survives — and (b) not trail the
+   cold-solve weight by more than the tolerance.  The warm path may
+   legitimately beat the cold one (it starts from accumulated gain), so
+   only the downside is bounded. *)
+let check_resolve ~tolerance g ~warm ~cold =
+  if tolerance < 0.0 || tolerance >= 1.0 then
+    invalid_arg "Certify.check_resolve: tolerance must be in [0, 1)";
+  let valid = M.is_valid_in warm g in
+  let warm_weight = M.weight warm in
+  let cold_weight = M.weight cold in
+  let within =
+    float_of_int warm_weight >= (1.0 -. tolerance) *. float_of_int cold_weight
+  in
+  { valid; warm_weight; cold_weight; within }
+
 let witness tp ~class_ratio g m aug =
   let n = G.n g in
   if not (Aug.is_wellformed aug && Aug.is_alternating aug m) then None

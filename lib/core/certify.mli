@@ -12,6 +12,27 @@
     structural augmentations are reachable, and useful for debugging
     why a given augmentation is (not) being found at given knobs. *)
 
+type resolve_check = {
+  valid : bool;  (** warm matching is valid in the mutated graph *)
+  warm_weight : int;
+  cold_weight : int;
+  within : bool;  (** [warm_weight >= (1 - tolerance) * cold_weight] *)
+}
+
+val check_resolve :
+  tolerance:float ->
+  Wm_graph.Weighted_graph.t ->
+  warm:Wm_graph.Matching.t ->
+  cold:Wm_graph.Matching.t ->
+  resolve_check
+(** Spot-check for the incremental serving path: certifies that a warm
+    re-solve's matching is valid in the mutated graph (every matched
+    edge present with the same weight) and within [tolerance] of the
+    cold-solve weight from scratch.  The warm side may exceed the cold
+    one; only the shortfall is bounded.  Raises [Invalid_argument] if
+    [tolerance] is outside [0, 1).  Used by experiment T10 and the
+    serve tests. *)
+
 type witness = {
   side : bool array;  (** the deterministic bipartition (true = L) *)
   pair : Tau.pair;

@@ -12,6 +12,7 @@ type streaming_result = {
   peak_edges : int;
   rounds_run : int;
   cancelled : bool;
+  warm : bool;
 }
 
 (* Cooperative cancellation: the [cancel] hook is consulted exactly once
@@ -40,18 +41,38 @@ let shed_to ~target m =
   let by_weight =
     List.sort (fun a b -> Int.compare (E.weight a) (E.weight b)) (M.edges m)
   in
-  let shed = ref 0 and lost = ref 0 in
+  (* Early exit: once the matching fits the budget there is nothing left
+     to shed, so don't keep walking the (possibly long) sorted tail. *)
+  let rec go shed lost = function
+    | [] -> (shed, lost)
+    | _ when M.size m <= target -> (shed, lost)
+    | e :: rest ->
+        M.remove m e;
+        go (shed + 1) (lost + E.weight e) rest
+  in
+  go 0 0 by_weight
+
+(* Warm-start repair: carry a previous matching onto [g], growing the
+   ambient vertex set if the graph gained vertices and dropping (via
+   [M.remove]) any matched edge that is no longer present with the same
+   weight — deleted, reweighted, or out of range.  The result is always
+   valid in [g], so a warm start can never smuggle stale edges into the
+   improvement loop. *)
+let repair g m0 =
+  let m = M.extend m0 (G.n g) in
   List.iter
     (fun e ->
-      if M.size m > target then begin
-        M.remove m e;
-        incr shed;
-        lost := !lost + E.weight e
-      end)
-    by_weight;
-  (!shed, !lost)
+      let u, v = E.endpoints e in
+      let ok =
+        match G.find_edge g u v with
+        | Some e' -> E.weight e' = E.weight e
+        | None -> false
+      in
+      if not ok then M.remove m e)
+    (M.edges m);
+  m
 
-let streaming ?(patience = 4) ?cancel ?faults params rng stream =
+let streaming ?(patience = 4) ?init ?cancel ?faults params rng stream =
   let inj =
     match faults with
     | Some i -> i
@@ -76,7 +97,10 @@ let streaming ?(patience = 4) ?cancel ?faults params rng stream =
     else g_true
   in
   let attempts = (Injector.spec inj).Wm_fault.Spec.max_attempts in
-  let m = ref (M.create n) in
+  (* Warm start repairs against the ingested (possibly fault-degraded)
+     view, not the ground truth: the improvement loop must only ever see
+     edges it could itself have read. *)
+  let m = ref (match init with None -> M.create n | Some m0 -> repair g m0) in
   let peak = ref 0 in
   let cancelled = ref false in
   let stop_requested i =
@@ -170,6 +194,7 @@ let streaming ?(patience = 4) ?cancel ?faults params rng stream =
     peak_edges = !peak;
     rounds_run = !i;
     cancelled = !cancelled;
+    warm = Option.is_some init;
   }
 
 type mpc_result = {
@@ -179,14 +204,15 @@ type mpc_result = {
   machines : int;
   rounds_run : int;
   cancelled : bool;
+  warm : bool;
 }
 
-let mpc ?(patience = 4) ?cancel params rng cluster g =
+let mpc ?(patience = 4) ?init ?cancel params rng cluster g =
   let module C = Wm_mpc.Cluster in
   let inj = C.faults cluster in
   let active = Injector.is_active inj in
   let n = G.n g in
-  let m = ref (M.create n) in
+  let m = ref (match init with None -> M.create n | Some m0 -> repair g m0) in
   (* Initial placement of the edge set across machines; stateless, so a
      crashed scatter is simply repeated. *)
   let place () = ignore (C.scatter cluster (G.edges g)) in
@@ -257,4 +283,5 @@ let mpc ?(patience = 4) ?cancel params rng cluster g =
     machines = C.machines cluster;
     rounds_run = !i;
     cancelled = !cancelled;
+    warm = Option.is_some init;
   }

@@ -38,10 +38,29 @@ type streaming_result = {
   peak_edges : int;  (** peak retained edges across instances *)
   rounds_run : int;  (** improvement rounds executed *)
   cancelled : bool;  (** stopped early by the [cancel] hook *)
+  warm : bool;  (** started from a warm-start matching ([init]) *)
 }
+
+val repair :
+  Wm_graph.Weighted_graph.t -> Wm_graph.Matching.t -> Wm_graph.Matching.t
+(** [repair g m] carries a matching computed on an earlier version of a
+    graph onto [g]: the ambient vertex set grows to [G.n g] if needed,
+    and every matched edge that is not present in [g] with the same
+    weight (deleted, reweighted, or out of range) is dropped via
+    {!Wm_graph.Matching.remove}.  The result is always valid in [g];
+    [m] itself is not mutated.  This is the warm-start entry repair the
+    drivers apply to [init], exposed for the serving layer and tests. *)
+
+val shed_to : target:int -> Wm_graph.Matching.t -> int * int
+(** [shed_to ~target m] removes the lightest matched edges until at most
+    [target] remain, returning [(edges shed, weight shed)].  Stops as
+    soon as the matching fits — edges that survive are exactly the
+    heaviest [target].  Exposed for the degradation tests; the streaming
+    driver calls it under injected memory pressure. *)
 
 val streaming :
   ?patience:int ->
+  ?init:Wm_graph.Matching.t ->
   ?cancel:(rounds_run:int -> bool) ->
   ?faults:Wm_fault.Injector.t ->
   Params.t ->
@@ -64,7 +83,14 @@ val streaming :
     last committed matching with [cancelled = true].  The hook is never
     called mid-round, so a cancelled run is always round-atomic, and a
     hook that keys on [rounds_run] (rather than wall clock) cancels at
-    the same point on every run. *)
+    the same point on every run.
+
+    [init] warm-starts the improvement loop from a previous matching
+    instead of the empty one: it is first passed through {!repair}
+    against the ingested (possibly fault-degraded) view, so only the
+    delta between the old matching and the current graph flows through
+    the augmentation machinery.  The result reports [warm = true] and
+    [rounds_run] is the rounds-to-converge from the warm point. *)
 
 type mpc_result = {
   matching : Wm_graph.Matching.t;
@@ -73,10 +99,12 @@ type mpc_result = {
   machines : int;
   rounds_run : int;
   cancelled : bool;  (** stopped early by the [cancel] hook *)
+  warm : bool;  (** started from a warm-start matching ([init]) *)
 }
 
 val mpc :
   ?patience:int ->
+  ?init:Wm_graph.Matching.t ->
   ?cancel:(rounds_run:int -> bool) ->
   Params.t ->
   Wm_graph.Prng.t ->
@@ -89,8 +117,10 @@ val mpc :
     injector ({!Wm_mpc.Cluster.faults}): crashed rounds are retried
     from replicated checkpoints with the backoff billed to the round
     clock; {!Wm_fault.Injector.Budget_exhausted} is raised when the
-    retry budget runs out.  [cancel] as in {!streaming}: checked at
-    round boundaries, stops with the last committed matching. *)
+    retry budget runs out.  [cancel] and [init] as in {!streaming}:
+    cancellation is checked at round boundaries and stops with the last
+    committed matching; a warm-start matching is repaired against [g]
+    before the first round. *)
 
 val peak_instance_load : (float * Aug_class.stats) list -> int
 (** The largest single [(W, tau)]-pair layered graph across all scales

@@ -73,7 +73,15 @@ let parse_lines s =
   let count = ref 0 in
   let seen = Hashtbl.create 64 in
   let lines = String.split_on_char '\n' s in
-  let last_line = List.length lines in
+  (* A trailing newline makes [split_on_char] emit a phantom empty
+     element past the final line; end-of-input diagnostics ("missing
+     problem line", count mismatches) must point at the real last line,
+     not one past it. *)
+  let last_line =
+    match List.length lines with
+    | len when len > 1 && List.nth lines (len - 1) = "" -> len - 1
+    | len -> len
+  in
   List.iteri
     (fun lineno line ->
       let fail msg = parse_fail (lineno + 1) msg in

@@ -15,6 +15,14 @@ let is_empty m = m.size = 0
 
 let copy m = { mates = Array.copy m.mates; size = m.size; weight = m.weight }
 
+let extend m nv =
+  let cur = Array.length m.mates in
+  if nv <= cur then copy m
+  else
+    let mates = Array.make nv None in
+    Array.blit m.mates 0 mates 0 cur;
+    { mates; size = m.size; weight = m.weight }
+
 let edge_at m v = m.mates.(v)
 let is_matched m v = Option.is_some m.mates.(v)
 

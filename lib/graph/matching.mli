@@ -19,6 +19,11 @@ val of_edges : int -> Edge.t list -> t
 
 val copy : t -> t
 
+val extend : t -> int -> t
+(** [extend m n'] is a copy of [m] over the ambient vertex set grown to
+    [max n' (n m)]; matched edges are unchanged.  Used to carry a
+    matching forward onto a graph that gained vertices. *)
+
 val n : t -> int
 (** Size of the ambient vertex set. *)
 

@@ -129,6 +129,52 @@ let map_weights g f =
   unsafe_of_owned_array ~n:g.n
     ~edges:(Array.map (fun e -> Edge.reweight e (f e)) g.edges)
 
+(* Delta rebuild: kept base edges were validated when [g] was built, so
+   only the delta is checked — removals must name existing edges, and
+   additions must be in range for the grown vertex set and must not
+   parallel a kept base edge or another addition. *)
+let patch g ?(add_vertices = 0) ?(add = []) ?(remove = []) () =
+  if add_vertices < 0 then
+    invalid_arg "Weighted_graph.patch: negative add_vertices";
+  let n' = g.n + add_vertices in
+  let norm (u, v) = if u <= v then (u, v) else (v, u) in
+  let removed = Hashtbl.create (max 1 (2 * List.length remove)) in
+  List.iter
+    (fun pair ->
+      let u, v = norm pair in
+      if Hashtbl.mem removed (u, v) then
+        invalid_arg
+          (Printf.sprintf "Weighted_graph.patch: edge %d-%d removed twice" u v);
+      if not (mem_edge g u v) then
+        invalid_arg
+          (Printf.sprintf "Weighted_graph.patch: no edge %d-%d to remove" u v);
+      Hashtbl.add removed (u, v) ())
+    remove;
+  let seen_add = Hashtbl.create (max 1 (2 * List.length add)) in
+  List.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      if u < 0 || u >= n' || v < 0 || v >= n' then
+        invalid_arg
+          (Printf.sprintf "Weighted_graph.patch: edge %s out of range [0,%d)"
+             (Edge.to_string e) n');
+      if Hashtbl.mem seen_add (u, v)
+         || (mem_edge g u v && not (Hashtbl.mem removed (u, v)))
+      then
+        invalid_arg
+          (Printf.sprintf "Weighted_graph.patch: parallel edge %s"
+             (Edge.to_string e));
+      Hashtbl.add seen_add (u, v) ())
+    add;
+  let kept =
+    Array.of_seq
+      (Seq.filter
+         (fun e -> not (Hashtbl.mem removed (Edge.endpoints e)))
+         (Array.to_seq g.edges))
+  in
+  let edges = Array.append kept (Array.of_list add) in
+  unsafe_of_owned_array ~n:n' ~edges
+
 let is_bipartition g ~left =
   Array.for_all
     (fun e ->

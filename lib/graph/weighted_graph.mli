@@ -69,6 +69,18 @@ val map_weights : t -> (Edge.t -> int) -> t
 (** Reweight every edge.  Skips re-validation (endpoints unchanged);
     negative weights are still rejected by [Edge.reweight]. *)
 
+val patch :
+  t -> ?add_vertices:int -> ?add:Edge.t list -> ?remove:(int * int) list ->
+  unit -> t
+(** [patch g ~add_vertices ~add ~remove ()] rebuilds the CSR from [g]
+    plus a delta: [add_vertices] fresh isolated vertices, the edges in
+    [add], minus the endpoint pairs in [remove] (order-insensitive).
+    Only the delta is validated — kept base edges were checked when [g]
+    was built.  Raises [Invalid_argument] if a removal names a missing
+    edge (or repeats a pair), or an addition is out of range or would
+    create a parallel edge.  Removing then re-adding a pair in the same
+    patch expresses a weight update. *)
+
 val is_bipartition : t -> left:(int -> bool) -> bool
 (** [is_bipartition g ~left] checks that every edge joins a [left] vertex
     to a non-[left] vertex. *)

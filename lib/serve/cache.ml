@@ -97,4 +97,8 @@ let remove_where t pred =
 let clear t =
   Hashtbl.reset t.tbl;
   t.head <- None;
-  t.tail <- None
+  t.tail <- None;
+  (* The eviction counter describes the current cache generation; a
+     count surviving [clear] would leak into the next generation's
+     stats and overstate capacity pressure. *)
+  t.evicted <- 0

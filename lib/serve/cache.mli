@@ -41,9 +41,11 @@ val remove_where : 'a t -> (string -> bool) -> int
     session is evicted.  Does not count as evictions. *)
 
 val clear : 'a t -> unit
+(** Drop every entry and reset the eviction counter — a cleared cache
+    is statistically indistinguishable from a fresh one. *)
 
 val evictions : 'a t -> int
-(** Total capacity evictions since creation. *)
+(** Capacity evictions since creation or the last {!clear}. *)
 
 val keys : 'a t -> string list
 (** Keys from most- to least-recently-used (for tests and stats). *)

@@ -12,6 +12,9 @@ type solve_params = {
 type verb =
   | Load of { graph : string option; path : string option }
   | Solve of { digest : string option; params : solve_params }
+  | Add_edges of { digest : string option; edges : (int * int * int) list }
+  | Remove_edges of { digest : string option; edges : (int * int) list }
+  | Add_vertices of { digest : string option; count : int }
   | Stats
   | Evict of { digest : string option }
   | Shutdown
@@ -85,6 +88,61 @@ let parse_solve obj =
   in
   Ok (Solve { digest; params = { algo; epsilon; seed; deadline_ms } })
 
+(* Mutation targets accept the same digest addressing as [solve]:
+   omitted or "latest" means the most recently loaded session. *)
+let target_digest obj =
+  let* digest = str_field obj "digest" in
+  Ok (match digest with Some "latest" -> None | d -> d)
+
+(* The "edges" payload of a mutation verb: a non-empty JSON list of
+   fixed-arity integer tuples ([u, v, w] for additions, [u, v] for
+   removals). *)
+let edge_tuples ~arity ~shape obj =
+  let bad () =
+    Error
+      (Printf.sprintf "field \"edges\" must be a non-empty list of %s" shape)
+  in
+  match J.member "edges" obj with
+  | Some (J.List (_ :: _ as items)) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | J.List tuple :: rest
+          when List.length tuple = arity
+               && List.for_all (function J.Int _ -> true | _ -> false) tuple
+          ->
+            let ints =
+              List.map (function J.Int n -> n | _ -> assert false) tuple
+            in
+            go (ints :: acc) rest
+        | _ -> bad ()
+      in
+      go [] items
+  | Some _ | None -> bad ()
+
+let parse_add_edges obj =
+  let* digest = target_digest obj in
+  let* tuples = edge_tuples ~arity:3 ~shape:"[u, v, weight] triples" obj in
+  let edges =
+    List.map (function [ u; v; w ] -> (u, v, w) | _ -> assert false) tuples
+  in
+  Ok (Add_edges { digest; edges })
+
+let parse_remove_edges obj =
+  let* digest = target_digest obj in
+  let* tuples = edge_tuples ~arity:2 ~shape:"[u, v] pairs" obj in
+  let edges =
+    List.map (function [ u; v ] -> (u, v) | _ -> assert false) tuples
+  in
+  Ok (Remove_edges { digest; edges })
+
+let parse_add_vertices obj =
+  let* digest = target_digest obj in
+  let* count = int_field obj "count" in
+  match count with
+  | Some c when c > 0 -> Ok (Add_vertices { digest; count = c })
+  | Some _ -> Error "field \"count\" must be positive"
+  | None -> Error "add_vertices needs a \"count\" field"
+
 let parse_request line =
   match J.of_string line with
   | Error e -> Error (Printf.sprintf "invalid JSON: %s" e)
@@ -116,6 +174,9 @@ let parse_request line =
                 Error "load needs a \"graph\" (inline text) or \"path\" field"
             | _ -> Ok (Load { graph; path }))
         | "solve" -> parse_solve obj
+        | "add_edges" -> parse_add_edges obj
+        | "remove_edges" -> parse_remove_edges obj
+        | "add_vertices" -> parse_add_vertices obj
         | "stats" -> Ok Stats
         | "evict" ->
             let* digest = str_field obj "digest" in
@@ -124,12 +185,38 @@ let parse_request line =
         | s ->
             Error
               (Printf.sprintf
-                 "unknown verb %S (expected load, solve, stats, evict or \
-                  shutdown)"
+                 "unknown verb %S (expected load, solve, add_edges, \
+                  remove_edges, add_vertices, stats, evict or shutdown)"
                  s)
       in
       Ok { id; verb })
   | Ok _ -> Error "request is not a JSON object"
+
+(* Canonical textual form of a mutation delta: endpoints normalised to
+   (min, max), entries sorted, additions before removals.  Two requests
+   describing the same delta — whatever order they listed the edges in —
+   canonicalise identically, so ledger rows and tests can compare
+   mutations as strings. *)
+let canonical_delta ~add_vertices ~add ~remove =
+  let norm2 (u, v) = (Stdlib.min u v, Stdlib.max u v) in
+  let adds =
+    List.sort compare
+      (List.map
+         (fun (u, v, w) ->
+           let u, v = norm2 (u, v) in
+           (u, v, w))
+         add)
+  in
+  let removes = List.sort compare (List.map norm2 remove) in
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "v+%d" add_vertices);
+  List.iter
+    (fun (u, v, w) -> Buffer.add_string buf (Printf.sprintf "|+%d-%d:%d" u v w))
+    adds;
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "|-%d-%d" u v))
+    removes;
+  Buffer.contents buf
 
 let canonical_params p =
   Printf.sprintf "algo=%s,epsilon=%.6g,seed=%d" (algo_name p.algo) p.epsilon

@@ -14,6 +14,18 @@
       ["greedy"]), ["epsilon"], ["seed"], ["deadline_ms"] (per-request
       deadline override).  Solves are {e queued} and executed as a
       batch at the next batch boundary.
+    - [add_edges] / [remove_edges] / [add_vertices]: mutate a loaded
+      session in place (["digest"] addressing as in [solve]).
+      [add_edges] takes ["edges"], a non-empty list of [[u, v, weight]]
+      triples; [remove_edges] takes [[u, v]] pairs (order-insensitive);
+      [add_vertices] takes a positive ["count"] of fresh isolated
+      vertices.  The session's graph is rebuilt from the delta
+      ({!Wm_graph.Weighted_graph.patch}), its content digest is
+      recomputed, and the response reports both digests — subsequent
+      requests address the session by the {e new} digest (or
+      ["latest"]).  A bad delta (missing removal target, parallel or
+      out-of-range addition) is an error and leaves the session
+      untouched.
     - [stats]: deterministic service snapshot (sessions, cache
       occupancy and hit counts, request tallies).
     - [evict]: drop one session (["digest"]) and its cached results, or
@@ -47,6 +59,9 @@ type solve_params = {
 type verb =
   | Load of { graph : string option; path : string option }
   | Solve of { digest : string option; params : solve_params }
+  | Add_edges of { digest : string option; edges : (int * int * int) list }
+  | Remove_edges of { digest : string option; edges : (int * int) list }
+  | Add_vertices of { digest : string option; count : int }
   | Stats
   | Evict of { digest : string option }
   | Shutdown
@@ -70,7 +85,21 @@ val canonical_params : solve_params -> string
 
 val cache_key : digest:string -> solve_params -> string
 (** [digest ^ "|" ^ canonical_params params] — the LRU result-cache
-    key: (graph digest, canonical params, seed). *)
+    key: (graph digest, canonical params, seed).  Because the digest is
+    content-addressed, mutating a session re-keys its {e future} results
+    under the new digest while results for untouched sessions (and for
+    any content the session later returns to) survive verbatim. *)
+
+val canonical_delta :
+  add_vertices:int ->
+  add:(int * int * int) list ->
+  remove:(int * int) list ->
+  string
+(** Canonical textual encoding of a mutation delta:
+    ["v+K|+u-v:w|...|-u-v|..."] with endpoints normalised to
+    [(min, max)], entries sorted, additions before removals.  Invariant
+    under the order edges were listed in the request; used for ledger
+    rows and transcript-stable mutation reporting. *)
 
 val response :
   id:int -> status:string -> (string * Wm_obs.Json.t) list -> Wm_obs.Json.t

@@ -15,6 +15,7 @@ type config = {
   deadline_ms : int;
   faults : Spec.t;
   destroy_pool_on_shutdown : bool;
+  warm_start : bool;
 }
 
 let default_config () =
@@ -24,6 +25,7 @@ let default_config () =
     deadline_ms = 0;
     faults = Spec.default ();
     destroy_pool_on_shutdown = false;
+    warm_start = true;
   }
 
 (* serve.* instruments (DESIGN.md §4.2).  Counters are process-wide:
@@ -41,6 +43,11 @@ let c_errors = Obs.counter Obs.default "serve.errors"
 let c_batches = Obs.counter Obs.default "serve.batches"
 let c_evicts = Obs.counter Obs.default "serve.evicts"
 let c_shutdowns = Obs.counter Obs.default "serve.shutdowns"
+let c_mutations = Obs.counter Obs.default "serve.mutations"
+let c_edges_added = Obs.counter Obs.default "serve.edges_added"
+let c_edges_removed = Obs.counter Obs.default "serve.edges_removed"
+let c_vertices_added = Obs.counter Obs.default "serve.vertices_added"
+let c_warm = Obs.counter Obs.default "serve.warm_solves"
 let h_latency = Obs.histogram Obs.default "serve.latency_ns"
 let h_batch = Obs.histogram Obs.default "serve.batch_size"
 
@@ -49,13 +56,26 @@ let h_batch = Obs.histogram Obs.default "serve.batch_size"
    the request-loop domain, so executing the job on any pool domain
    replays a fixed plan — the fault pattern cannot depend on
    scheduling. *)
+(* A loaded graph under its current content digest.  Mutation verbs
+   rewrite [graph]/[digest] in place (the session object survives
+   re-keying); [warm] maps canonical solve params to the last completed
+   matching, the warm-start point for incremental re-solves. *)
+type session = {
+  mutable graph : G.t;
+  mutable digest : string;
+  mutable generation : int;  (** mutations applied since load *)
+  warm : (string, M.t) Hashtbl.t;
+}
+
 type queued = {
   arrival : int;
   id : int;
   digest : string;
   graph : G.t;
+  session : session;
   params : Protocol.solve_params;
   key : string;
+  warm_init : M.t option;  (** warm-start matching captured at admission *)
   enqueued_ns : int;
   expire_round : int option;  (** injected deadline expiry round *)
   mutable crashes_left : int;  (** pre-drawn serve-level crashes *)
@@ -65,7 +85,7 @@ type queued = {
 type t = {
   config : config;
   cache : J.t Cache.t;
-  sessions : (string, G.t) Hashtbl.t;
+  sessions : (string, session) Hashtbl.t;
   mutable order : string list;  (** digests in load order *)
   mutable last : string option;  (** most recently loaded digest *)
   inj : Injector.t;
@@ -102,8 +122,8 @@ let stopped t = t.stopped
 let sessions t =
   List.map
     (fun d ->
-      let g = Hashtbl.find t.sessions d in
-      (d, G.n g, G.m g))
+      let s = Hashtbl.find t.sessions d in
+      (d, G.n s.graph, G.m s.graph))
     t.order
 
 let ledger_row t ~label ~id ~cached ~status ~latency_ns =
@@ -119,17 +139,26 @@ let ledger_row t ~label ~id ~cached ~status ~latency_ns =
 (* ------------------------------------------------------------------ *)
 (* Solve execution (runs on pool domains) *)
 
-let result_json ~algo ~m ~g ~rounds ~passes ~mpc_rounds =
+let result_json ~algo ~m ~g ~warm ~rounds ~passes ~mpc_rounds =
   J.Obj
     [
       ("algo", J.Str (Protocol.algo_name algo));
       ("size", J.Int (M.size m));
       ("weight", J.Int (M.weight m));
       ("valid", J.Bool (M.is_valid_in m g));
+      ("warm", J.Bool warm);
       ("rounds", J.Int rounds);
       ("passes", J.Int passes);
       ("mpc_rounds", J.Int mpc_rounds);
     ]
+
+(* Warm re-solves converge from a repaired previous matching, so they
+   get a much shorter dry-round patience than the cold default of 4:
+   the delta left to absorb is small and localised, so a single
+   gainless round is already strong evidence of convergence — and the
+   T10 certification table pins the quality cost of stopping early. *)
+let cold_patience = 4
+let warm_patience = 1
 
 let execute t (q : queued) =
   let deadline_hit = ref false in
@@ -161,36 +190,52 @@ let execute t (q : queued) =
     end;
     deadline_hit := false;
     let rng = P.create q.params.Protocol.seed in
+    let patience =
+      match q.warm_init with Some _ -> warm_patience | None -> cold_patience
+    in
     match q.params.Protocol.algo with
     | Protocol.Greedy ->
         (* Single-shot: no round structure, so the deadline is checked
-           once, up front. *)
+           once, up front; warm starts don't apply. *)
         if cancel ~rounds_run:0 then
-          result_json ~algo:Protocol.Greedy
-            ~m:(M.create (G.n q.graph))
-            ~g:q.graph ~rounds:0 ~passes:0 ~mpc_rounds:0
+          let m = M.create (G.n q.graph) in
+          ( result_json ~algo:Protocol.Greedy ~m ~g:q.graph ~warm:false
+              ~rounds:0 ~passes:0 ~mpc_rounds:0,
+            m )
         else
           let m = Wm_algos.Greedy.by_weight q.graph in
-          result_json ~algo:Protocol.Greedy ~m ~g:q.graph ~rounds:0 ~passes:1
-            ~mpc_rounds:0
+          ( result_json ~algo:Protocol.Greedy ~m ~g:q.graph ~warm:false
+              ~rounds:0 ~passes:1 ~mpc_rounds:0,
+            m )
     | Protocol.Streaming ->
         let s = ES.of_graph q.graph in
-        let r = Wm_core.Model_driver.streaming ~cancel params rng s in
+        let r =
+          Wm_core.Model_driver.streaming ~patience ?init:q.warm_init ~cancel
+            params rng s
+        in
         if r.Wm_core.Model_driver.cancelled then deadline_hit := true;
-        result_json ~algo:Protocol.Streaming ~m:r.Wm_core.Model_driver.matching
-          ~g:q.graph ~rounds:r.Wm_core.Model_driver.rounds_run
-          ~passes:r.Wm_core.Model_driver.passes ~mpc_rounds:0
+        ( result_json ~algo:Protocol.Streaming
+            ~m:r.Wm_core.Model_driver.matching ~g:q.graph
+            ~warm:r.Wm_core.Model_driver.warm
+            ~rounds:r.Wm_core.Model_driver.rounds_run
+            ~passes:r.Wm_core.Model_driver.passes ~mpc_rounds:0,
+          r.Wm_core.Model_driver.matching )
     | Protocol.Mpc ->
         let machines = Stdlib.max 2 (G.m q.graph / Stdlib.max 1 (G.n q.graph)) in
         let cluster =
           Wm_mpc.Cluster.create ~machines ~memory_words:(16 * G.n q.graph * 10)
             ()
         in
-        let r = Wm_core.Model_driver.mpc ~cancel params rng cluster q.graph in
+        let r =
+          Wm_core.Model_driver.mpc ~patience ?init:q.warm_init ~cancel params
+            rng cluster q.graph
+        in
         if r.Wm_core.Model_driver.cancelled then deadline_hit := true;
-        result_json ~algo:Protocol.Mpc ~m:r.Wm_core.Model_driver.matching
-          ~g:q.graph ~rounds:r.Wm_core.Model_driver.rounds_run ~passes:0
-          ~mpc_rounds:r.Wm_core.Model_driver.rounds
+        ( result_json ~algo:Protocol.Mpc ~m:r.Wm_core.Model_driver.matching
+            ~g:q.graph ~warm:r.Wm_core.Model_driver.warm
+            ~rounds:r.Wm_core.Model_driver.rounds_run ~passes:0
+            ~mpc_rounds:r.Wm_core.Model_driver.rounds,
+          r.Wm_core.Model_driver.matching )
   in
   match
     Recovery.with_retry ~attempts ~site:"serve.solve"
@@ -265,12 +310,22 @@ let flush t =
     in
     let by_key = Hashtbl.create 16 in
     List.iter (fun (k, o) -> Hashtbl.replace by_key k o) outcomes;
-    (* Completed (non-cancelled) results enter the cache in
-       first-arrival key order — deterministic LRU contents. *)
+    (* Completed (non-cancelled) results enter the cache — and their
+       matchings become the sessions' warm-start state — in
+       first-arrival key order: deterministic LRU contents and a warm
+       table that is a pure function of the request history.  Deadline
+       partials are excluded from both (wall-clock deadlines are not
+       deterministic), mirroring the cache rule. *)
     List.iter
       (fun q ->
         match Hashtbl.find_opt by_key q.key with
-        | Some (`Ok result) -> Cache.add t.cache q.key result
+        | Some (`Ok (result, m)) ->
+            Cache.add t.cache q.key result;
+            if t.config.warm_start && q.params.Protocol.algo <> Protocol.Greedy
+            then
+              Hashtbl.replace q.session.warm
+                (Protocol.canonical_params q.params)
+                m
         | Some (`Deadline _) | Some (`Error _) | None -> ())
       jobs;
     Ledger.record Ledger.default ~section:"serve.batches"
@@ -287,14 +342,14 @@ let flush t =
             ("ok", true, [ ("cached", J.Bool true); ("result", result) ])
         | None -> (
             match Hashtbl.find_opt by_key q.key with
-            | Some (`Ok result) ->
+            | Some (`Ok (result, _)) ->
                 (* Within-batch duplicates of the leader are cache hits
                    against the entry the leader just inserted. *)
                 let is_leader = Hashtbl.find_opt leader q.key = Some q.arrival in
                 ( "ok",
                   not is_leader,
                   [ ("cached", J.Bool (not is_leader)); ("result", result) ] )
-            | Some (`Deadline result) ->
+            | Some (`Deadline (result, _)) ->
                 ( "deadline",
                   false,
                   [ ("cached", J.Bool false); ("result", result) ] )
@@ -348,7 +403,7 @@ let admit t ~id ~(digest : string option) (params : Protocol.solve_params) =
   | Some d -> (
       match Hashtbl.find_opt t.sessions d with
       | None -> fail (Printf.sprintf "unknown session digest %s" d)
-      | Some g ->
+      | Some s ->
           if t.queue_len >= t.config.queue_depth then begin
             (* Admission control: bounded queue, explicit rejection. *)
             Obs.incr c_overloaded;
@@ -382,6 +437,20 @@ let admit t ~id ~(digest : string option) (params : Protocol.solve_params) =
                 | exception Injector.Injected_crash _ -> crash_plan (k + 1)
             in
             let crashes_left = crash_plan 0 in
+            (* Warm-start capture happens here, sequentially on the
+               request-loop domain: the matching the session holds right
+               now is the one this solve starts from, whatever order the
+               pool later runs the batch in.  Greedy is single-shot and
+               never warm-starts. *)
+            let warm_init =
+              if
+                t.config.warm_start
+                && params.Protocol.algo <> Protocol.Greedy
+              then
+                Hashtbl.find_opt s.warm (Protocol.canonical_params params)
+              else None
+            in
+            if Option.is_some warm_init then Obs.incr c_warm;
             let now = Obs.now_ns () in
             let deadline_ns =
               match (params.Protocol.deadline_ms, t.config.deadline_ms) with
@@ -394,9 +463,11 @@ let admit t ~id ~(digest : string option) (params : Protocol.solve_params) =
                 arrival = t.reqno;
                 id;
                 digest = d;
-                graph = g;
+                graph = s.graph;
+                session = s;
                 params;
                 key = Protocol.cache_key ~digest:d params;
+                warm_init;
                 enqueued_ns = now;
                 expire_round;
                 crashes_left;
@@ -426,8 +497,14 @@ let load t ~id ~graph ~path =
   with
   | g ->
       let d = Wm_graph.Graph_io.digest g in
-      if not (Hashtbl.mem t.sessions d) then t.order <- t.order @ [ d ];
-      Hashtbl.replace t.sessions d g;
+      (* Re-loading content that is already live keeps the existing
+         session object — including its warm matchings, which are valid
+         for identical content by construction. *)
+      if not (Hashtbl.mem t.sessions d) then begin
+        t.order <- t.order @ [ d ];
+        Hashtbl.replace t.sessions d
+          { graph = g; digest = d; generation = 0; warm = Hashtbl.create 4 }
+      end;
       t.last <- Some d;
       finish ~status:"ok"
         (Protocol.response ~id ~status:"ok"
@@ -446,6 +523,80 @@ let load t ~id ~graph ~path =
   | exception Invalid_argument msg ->
       finish ~status:"error" (Protocol.error_response ~id msg)
 
+(* Session mutation (add_edges / remove_edges / add_vertices).  Always
+   reached at a batch boundary — queued solves against the old content
+   have already run — so rewriting the session in place cannot race a
+   solve.  The graph is rebuilt from the delta (only the delta is
+   re-validated), the content digest recomputed, and the session
+   re-keyed under it; cached results need no purging because their keys
+   are content-addressed — results for the old content simply become
+   reachable again if the session ever returns to it, and results for
+   untouched sessions are never disturbed.  A bad delta fails the
+   request and leaves the session exactly as it was. *)
+let mutate t ~id ~digest ~add_vertices ~add ~remove =
+  let started = Obs.now_ns () in
+  let fail msg =
+    Obs.incr c_errors;
+    ledger_row t ~label:"mutate" ~id ~cached:false ~status:"error"
+      ~latency_ns:(Obs.now_ns () - started);
+    Protocol.error_response ~id msg
+  in
+  match (match digest with Some d -> Some d | None -> t.last) with
+  | None -> fail "no session loaded (load a graph first)"
+  | Some d -> (
+      match Hashtbl.find_opt t.sessions d with
+      | None -> fail (Printf.sprintf "unknown session digest %s" d)
+      | Some s -> (
+          match
+            let add_edges =
+              List.map (fun (u, v, w) -> Wm_graph.Edge.make u v w) add
+            in
+            G.patch s.graph ~add_vertices ~add:add_edges ~remove ()
+          with
+          | exception Invalid_argument msg -> fail msg
+          | g' ->
+              let d' = Wm_graph.Graph_io.digest g' in
+              Hashtbl.remove t.sessions d;
+              (* Re-key under the new digest.  If the mutated content
+                 collides with another live session, this session
+                 subsumes it (identical graphs); the stale order slot is
+                 dropped so each digest is listed once. *)
+              let collided = d' <> d && Hashtbl.mem t.sessions d' in
+              Hashtbl.replace t.sessions d' s;
+              t.order <-
+                (if collided then List.filter (fun x -> x <> d) t.order
+                 else List.map (fun x -> if x = d then d' else x) t.order);
+              if t.last = Some d then t.last <- Some d';
+              s.graph <- g';
+              s.digest <- d';
+              s.generation <- s.generation + 1;
+              Obs.incr c_mutations;
+              Obs.add c_edges_added (List.length add);
+              Obs.add c_edges_removed (List.length remove);
+              Obs.add c_vertices_added add_vertices;
+              let delta = Protocol.canonical_delta ~add_vertices ~add ~remove in
+              Ledger.record ~label:delta Ledger.default
+                ~section:"serve.mutations"
+                [
+                  ("id", id);
+                  ("added", List.length add);
+                  ("removed", List.length remove);
+                  ("vertices", add_vertices);
+                  ("generation", s.generation);
+                ];
+              ledger_row t ~label:"mutate" ~id ~cached:false ~status:"ok"
+                ~latency_ns:(Obs.now_ns () - started);
+              Protocol.response ~id ~status:"ok"
+                [
+                  ("previous_digest", J.Str d);
+                  ("digest", J.Str d');
+                  ("n", J.Int (G.n g'));
+                  ("m", J.Int (G.m g'));
+                  ("total_weight", J.Int (G.total_weight g'));
+                  ("generation", J.Int s.generation);
+                  ("delta", J.Str delta);
+                ]))
+
 (* Deterministic service snapshot: every field is a pure function of the
    request history (no wall-clock values), so stats responses diff clean
    across --jobs settings. *)
@@ -453,8 +604,14 @@ let stats_response t ~id =
   let sessions =
     List.map
       (fun d ->
-        let g = Hashtbl.find t.sessions d in
-        J.Obj [ ("digest", J.Str d); ("n", J.Int (G.n g)); ("m", J.Int (G.m g)) ])
+        let s = Hashtbl.find t.sessions d in
+        J.Obj
+          [
+            ("digest", J.Str d);
+            ("n", J.Int (G.n s.graph));
+            ("m", J.Int (G.m s.graph));
+            ("generation", J.Int s.generation);
+          ])
       t.order
   in
   ledger_row t ~label:"stats" ~id ~cached:false ~status:"ok" ~latency_ns:0;
@@ -549,6 +706,27 @@ let handle_request t (req : Protocol.request) =
            [let] matters: [@] evaluates its right operand first. *)
         let flushed = flush t in
         flushed @ [ load t ~id:req.Protocol.id ~graph ~path ]
+    | Protocol.Add_edges { digest; edges } ->
+        let flushed = flush t in
+        flushed
+        @ [
+            mutate t ~id:req.Protocol.id ~digest ~add_vertices:0 ~add:edges
+              ~remove:[];
+          ]
+    | Protocol.Remove_edges { digest; edges } ->
+        let flushed = flush t in
+        flushed
+        @ [
+            mutate t ~id:req.Protocol.id ~digest ~add_vertices:0 ~add:[]
+              ~remove:edges;
+          ]
+    | Protocol.Add_vertices { digest; count } ->
+        let flushed = flush t in
+        flushed
+        @ [
+            mutate t ~id:req.Protocol.id ~digest ~add_vertices:count ~add:[]
+              ~remove:[];
+          ]
     | Protocol.Stats ->
         let flushed = flush t in
         flushed @ [ stats_response t ~id:req.Protocol.id ]
@@ -635,6 +813,17 @@ let report_json t =
                  ("batches", c_batches);
                  ("evicts", c_evicts);
                  ("shutdowns", c_shutdowns);
+               ]) );
+        ( "incremental",
+          J.Obj
+            (List.map
+               (fun (k, c) -> (k, J.Int (Obs.value c)))
+               [
+                 ("mutations", c_mutations);
+                 ("edges_added", c_edges_added);
+                 ("edges_removed", c_edges_removed);
+                 ("vertices_added", c_vertices_added);
+                 ("warm_solves", c_warm);
                ]) );
         ( "cache",
           J.Obj

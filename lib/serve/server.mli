@@ -31,11 +31,31 @@
     chaos pattern — and therefore every response — is byte-identical at
     any [--jobs].
 
+    {b Incremental sessions.}  The mutation verbs ([add_edges],
+    [remove_edges], [add_vertices]) rewrite a loaded session in place at
+    a batch boundary: the graph is rebuilt from the delta
+    ({!Wm_graph.Weighted_graph.patch}), the content digest recomputed,
+    and the session re-keyed under it.  Each completed (non-cancelled)
+    solve stores its matching as the session's warm-start state for its
+    canonical params; a later solve on the (possibly mutated) session
+    re-starts the improvement loop from that matching — repaired by
+    {!Wm_core.Model_driver.repair}, so deleted or reweighted edges are
+    dropped first — instead of from scratch, and reports
+    [warm = true] plus its rounds-to-converge.  Warm capture happens
+    sequentially at admission, so warm dispatch is a pure function of
+    the request history and transcripts stay jobs-invariant.  Cache
+    keys are content-addressed, so mutation purges nothing: results for
+    untouched sessions survive, and content a session returns to
+    re-hits its old entries.
+
     {b Observability.}  Every request bumps [serve.*] counters, lands
     one row in the [serve.requests] ledger section, and records its
     latency in the [serve.latency_ns] histogram; a [serve.queue_depth]
-    gauge tracks queue occupancy.  {!report_json} snapshots everything
-    as a BENCH_v1 report with a [serve] block. *)
+    gauge tracks queue occupancy; mutations land rows in
+    [serve.mutations] labelled with their canonical delta.
+    {!report_json} snapshots everything as a BENCH_v1 report with a
+    [serve] block, including an [incremental] sub-block (mutations,
+    edge/vertex delta tallies, warm solves). *)
 
 type config = {
   queue_depth : int;  (** max queued solves per batch (default 16) *)
@@ -47,11 +67,15 @@ type config = {
       (** tear down the default pool when [shutdown] is acknowledged
           (the CLI sets this; in-process embedders usually keep the
           pool) *)
+  warm_start : bool;
+      (** warm-start solves from the session's last matching (default
+          [true]); [false] forces every solve cold — the T10 baseline *)
 }
 
 val default_config : unit -> config
 (** Defaults as above, with [faults] = the process-wide
-    {!Wm_fault.Spec.default} and [destroy_pool_on_shutdown = false]. *)
+    {!Wm_fault.Spec.default}, [destroy_pool_on_shutdown = false] and
+    [warm_start = true]. *)
 
 type t
 

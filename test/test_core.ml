@@ -812,6 +812,30 @@ let test_certify_rejects_bad_shapes () =
   check_bool "no witness for e-o path" true
     (Certify.witness tp32 ~class_ratio:2.0 g m bad = None)
 
+(* The warm re-solve spot check: validity in the mutated graph plus a
+   weight-tolerance comparison against an independent cold solve. *)
+let test_certify_check_resolve () =
+  let g = G.create ~n:4 [ E.make 0 1 10; E.make 2 3 8; E.make 1 2 3 ] in
+  let warm = M.of_edges 4 [ E.make 0 1 10; E.make 2 3 8 ] in
+  let cold = M.of_edges 4 [ E.make 0 1 10; E.make 2 3 8 ] in
+  let r = Certify.check_resolve ~tolerance:0.1 g ~warm ~cold in
+  check_bool "valid" true r.Certify.valid;
+  check_bool "within" true r.Certify.within;
+  check "warm weight" 18 r.Certify.warm_weight;
+  check "cold weight" 18 r.Certify.cold_weight;
+  (* a warm matching below (1 - tol) of cold fails the tolerance leg *)
+  let weak = M.of_edges 4 [ E.make 1 2 3 ] in
+  let r2 = Certify.check_resolve ~tolerance:0.1 g ~warm:weak ~cold in
+  check_bool "weak warm flagged" true (not r2.Certify.within);
+  check_bool "weak warm still valid" true r2.Certify.valid;
+  (* a matching using an edge absent from g fails validity *)
+  let stale = M.of_edges 4 [ E.make 0 3 9 ] in
+  let r3 = Certify.check_resolve ~tolerance:0.1 g ~warm:stale ~cold in
+  check_bool "stale edge invalid" true (not r3.Certify.valid);
+  (match Certify.check_resolve ~tolerance:1.5 g ~warm ~cold with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "tolerance >= 1 must be rejected")
+
 let prop_certify_planted_quintuples =
   QCheck2.Test.make ~name:"Lemma 4.12 witness exists for planted quintuples"
     ~count:40
@@ -887,6 +911,90 @@ let test_mpc_driver_memory_violation () =
     with Wm_mpc.Cluster.Memory_exceeded _ -> true
   in
   check_bool "tiny machines overflow" true raised
+
+(* shed_to under memory pressure: exactly the lightest edges go, the
+   heaviest [target] survive, and the walk stops at the boundary — it
+   must not keep scanning (or shedding) once the matching fits. *)
+let test_shed_to_exact () =
+  let mk () =
+    M.of_edges 10
+      [ E.make 0 1 3; E.make 2 3 9; E.make 4 5 1; E.make 6 7 7; E.make 8 9 5 ]
+  in
+  let m = mk () in
+  let shed, lost = MD.shed_to ~target:2 m in
+  check "sheds to the target" 2 (M.size m);
+  check "edges shed" 3 shed;
+  (* the lightest three (1, 3, 5) go; 7 and 9 stay *)
+  check "lightest weights lost" (1 + 3 + 5) lost;
+  check "heaviest survive" (7 + 9) (M.weight m);
+  (* already within budget: a no-op, not a full drain *)
+  let m2 = mk () in
+  let shed2, lost2 = MD.shed_to ~target:5 m2 in
+  check "nothing shed" 0 shed2;
+  check "nothing lost" 0 lost2;
+  check "matching intact" 5 (M.size m2);
+  let shed3, _ = MD.shed_to ~target:0 m2 in
+  check "target 0 drains" 5 shed3
+
+(* Warm-start repair: stale matched edges (deleted or reweighted) are
+   dropped, survivors keep their assignment, and the result is valid in
+   the new graph even when the vertex set grew. *)
+let test_repair_drops_stale () =
+  let g0 =
+    G.create ~n:4 [ E.make 0 1 5; E.make 2 3 8; E.make 0 2 2 ]
+  in
+  let m0 = M.of_edges 4 [ E.make 0 1 5; E.make 2 3 8 ] in
+  let g1 =
+    G.patch g0 ~add_vertices:2
+      ~remove:[ (0, 1); (2, 3) ]
+      ~add:[ E.make 2 3 11; E.make 4 5 6 ]
+      ()
+  in
+  let r = MD.repair g1 m0 in
+  check_bool "valid in the mutated graph" true (M.is_valid_in r g1);
+  check_bool "deleted edge dropped" true (not (M.is_matched r 0));
+  check_bool "reweighted edge dropped" true (not (M.is_matched r 2));
+  check "universe extended" 6 (M.n r);
+  check_bool "input not mutated" true (M.size m0 = 2);
+  (* a still-present edge survives repair untouched *)
+  let g2 = G.patch g0 ~remove:[ (0, 2) ] () in
+  let r2 = MD.repair g2 m0 in
+  check "survivors kept" 2 (M.size r2);
+  check "weight kept" 13 (M.weight r2)
+
+(* Warm-started driver: init is repaired, the result reports warm=true,
+   and no returned edge can be absent from the (mutated) input graph. *)
+let test_streaming_driver_warm () =
+  let grng = P.create 81 in
+  let g =
+    Gen.random_bipartite grng ~left:30 ~right:30 ~p:0.15
+      ~weights:(Gen.Uniform (1, 20))
+  in
+  let params = Params.practical ~epsilon:0.2 () in
+  let cold = MD.streaming ~patience:4 params (P.create 82) (ES.of_graph g) in
+  check_bool "cold run is not warm" true (not cold.MD.warm);
+  (* delete the first few matched edges and warm-restart on the rest *)
+  let victims =
+    match M.edges cold.MD.matching with
+    | a :: b :: _ -> [ a; b ]
+    | es -> es
+  in
+  let g' =
+    G.patch g ~remove:(List.map E.endpoints victims) ()
+  in
+  let warm =
+    MD.streaming ~patience:1 ~init:cold.MD.matching params (P.create 82)
+      (ES.of_graph g')
+  in
+  check_bool "warm flag" true warm.MD.warm;
+  check_bool "warm matching valid in mutated graph" true
+    (M.is_valid_in warm.MD.matching g');
+  List.iter
+    (fun e ->
+      let u, v = E.endpoints e in
+      check_bool "no deleted edge leaks into the result" true
+        (G.mem_edge g' u v))
+    (M.edges warm.MD.matching)
 
 (* Lemma 3.2 (KMM12): if a maximal matching M' satisfies
    |M'| <= (1/2 + alpha)|M*| then at least (1/2 - 3 alpha)|M*| of its
@@ -1112,6 +1220,7 @@ let () =
           Alcotest.test_case "resolution limit" `Quick
             test_certify_resolution_limit;
           Alcotest.test_case "bad shapes" `Quick test_certify_rejects_bad_shapes;
+          Alcotest.test_case "check_resolve" `Quick test_certify_check_resolve;
         ] );
       ( "model_driver",
         [
@@ -1119,6 +1228,11 @@ let () =
           Alcotest.test_case "mpc" `Quick test_mpc_driver;
           Alcotest.test_case "mpc memory violation" `Quick
             test_mpc_driver_memory_violation;
+          Alcotest.test_case "shed_to exact" `Quick test_shed_to_exact;
+          Alcotest.test_case "repair drops stale" `Quick
+            test_repair_drops_stale;
+          Alcotest.test_case "warm streaming" `Quick
+            test_streaming_driver_warm;
         ] );
       ("properties", qcheck_tests);
     ]

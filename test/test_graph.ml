@@ -170,6 +170,57 @@ let test_graph_is_bipartition () =
   let g2 = G.create ~n:4 [ E.make 0 1 1 ] in
   check_bool "violation" false (G.is_bipartition g2 ~left:(fun v -> v < 2))
 
+(* patch must be indistinguishable from rebuilding the mutated edge
+   list from scratch — same digest, same totals, base graph intact. *)
+let test_graph_patch () =
+  let g = small_graph () in
+  let h =
+    G.patch g ~add_vertices:1 ~add:[ E.make 0 5 9; E.make 1 3 2 ]
+      ~remove:[ (3, 2) ] ()
+  in
+  let rebuilt =
+    G.create ~n:6
+      [
+        E.make 0 1 3; E.make 1 2 4; E.make 3 4 6; E.make 0 4 7;
+        E.make 0 5 9; E.make 1 3 2;
+      ]
+  in
+  Alcotest.(check string)
+    "digest matches a from-scratch build"
+    (Wm_graph.Graph_io.digest rebuilt)
+    (Wm_graph.Graph_io.digest h);
+  check "n grows" 6 (G.n h);
+  check "m tracks the delta" 6 (G.m h);
+  check "total weight" (25 - 5 + 9 + 2) (G.total_weight h);
+  (* removal order of the pair is irrelevant *)
+  Alcotest.(check string)
+    "removal endpoints normalised"
+    (Wm_graph.Graph_io.digest (G.patch g ~remove:[ (2, 3) ] ()))
+    (Wm_graph.Graph_io.digest (G.patch g ~remove:[ (3, 2) ] ()));
+  (* base graph untouched *)
+  check "base m intact" 5 (G.m g);
+  check "base n intact" 5 (G.n g);
+  (* removing and re-adding a pair in one patch is a weight update *)
+  let upd = G.patch g ~remove:[ (0, 1) ] ~add:[ E.make 0 1 50 ] () in
+  check "weight updated" (25 - 3 + 50) (G.total_weight upd)
+
+let test_graph_patch_rejects () =
+  let g = small_graph () in
+  let raises name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  raises "missing removal" (fun () -> G.patch g ~remove:[ (0, 2) ] ());
+  raises "duplicate removal" (fun () ->
+      G.patch g ~remove:[ (0, 1); (1, 0) ] ());
+  raises "parallel with base" (fun () -> G.patch g ~add:[ E.make 1 0 2 ] ());
+  raises "parallel within delta" (fun () ->
+      G.patch g ~add:[ E.make 0 2 1; E.make 2 0 3 ] ());
+  raises "addition out of range" (fun () ->
+      G.patch g ~add:[ E.make 0 5 1 ] ());
+  raises "negative vertex delta" (fun () -> G.patch g ~add_vertices:(-1) ())
+
 (* ------------------------------------------------------------------ *)
 (* Matching *)
 
@@ -263,6 +314,23 @@ let test_matching_maximality () =
   let not_maximal = M.of_edges 5 [ E.make 1 2 4 ] in
   check_bool "maximal" true (M.is_maximal_in maximal g);
   check_bool "not maximal" false (M.is_maximal_in not_maximal g)
+
+let test_matching_extend () =
+  let m = M.create 4 in
+  M.add m (E.make 0 1 5);
+  let bigger = M.extend m 7 in
+  check "universe grows" 7 (M.n bigger);
+  check "size preserved" 1 (M.size bigger);
+  check "weight preserved" 5 (M.weight bigger);
+  check_bool "new vertices unmatched" true (not (M.is_matched bigger 6));
+  (* extend is a copy: mutating the result leaves the original alone *)
+  M.add bigger (E.make 5 6 2);
+  check "original untouched" 1 (M.size m);
+  (* extending to a smaller or equal universe degrades to copy *)
+  let same = M.extend m 4 in
+  check "no shrink" 4 (M.n same);
+  M.add same (E.make 2 3 1);
+  check "still a copy" 1 (M.size m)
 
 let test_symmetric_difference_path () =
   (* M1 = {1-2}, M2 = {0-1, 2-3}: one alternating path of 3 edges. *)
@@ -538,7 +606,13 @@ let test_io_errors () =
         | None -> ())
   in
   expect_error ~line:1 "e 0 1 2\n";
-  expect_error ~line:3 "p wm 3 2\ne 0 1 2\n";
+  (* End-of-input diagnostics point at the real last line: the phantom
+     empty element after a trailing newline must not count (the
+     count-mismatch below is at line 2 whether or not the text ends in
+     a newline). *)
+  expect_error ~line:2 "p wm 3 2\ne 0 1 2\n";
+  expect_error ~line:2 "p wm 3 2\ne 0 1 2";
+  expect_error ~line:1 ~msg:"missing problem line" "c only a comment\n";
   expect_error ~line:1 "p wm x y\n";
   expect_error ~line:2 ~msg:"self-loop" "p wm 3 1\ne 0 0 2\n";
   expect_error ~line:1 "p matching 3 0\n";
@@ -747,6 +821,8 @@ let () =
           Alcotest.test_case "subgraph" `Quick test_graph_subgraph;
           Alcotest.test_case "map_weights" `Quick test_graph_map_weights;
           Alcotest.test_case "is_bipartition" `Quick test_graph_is_bipartition;
+          Alcotest.test_case "patch" `Quick test_graph_patch;
+          Alcotest.test_case "patch rejects" `Quick test_graph_patch_rejects;
         ] );
       ( "matching",
         [
@@ -761,6 +837,7 @@ let () =
           Alcotest.test_case "is_perfect" `Quick test_matching_is_perfect;
           Alcotest.test_case "validity" `Quick test_matching_validity;
           Alcotest.test_case "maximality" `Quick test_matching_maximality;
+          Alcotest.test_case "extend" `Quick test_matching_extend;
           Alcotest.test_case "symdiff path" `Quick test_symmetric_difference_path;
           Alcotest.test_case "symdiff cycle" `Quick test_symmetric_difference_cycle;
           Alcotest.test_case "symdiff common edge" `Quick

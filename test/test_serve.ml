@@ -27,16 +27,17 @@ let small_graph seed =
 
 let graph_text seed = Wm_graph.Graph_io.to_string (small_graph seed)
 
-let config ?(queue_depth = 16) ?(cache_entries = 64) () =
+let config ?(queue_depth = 16) ?(cache_entries = 64) ?(warm_start = true) () =
   {
     (Server.default_config ()) with
     queue_depth;
     cache_entries;
+    warm_start;
     faults = Wm_fault.Spec.none;
   }
 
-let server ?queue_depth ?cache_entries () =
-  Server.create (config ?queue_depth ?cache_entries ())
+let server ?queue_depth ?cache_entries ?warm_start () =
+  Server.create (config ?queue_depth ?cache_entries ?warm_start ())
 
 let req line =
   match Protocol.parse_request line with
@@ -72,6 +73,43 @@ let status resp =
   | _ -> Alcotest.fail "response lacks status"
 
 let cached resp = J.member "cached" resp = Some (J.Bool true)
+
+let str_field resp k =
+  match J.member k resp with
+  | Some (J.Str s) -> s
+  | _ -> Alcotest.fail (Printf.sprintf "response lacks string %S" k)
+
+let result_field resp k =
+  match J.member "result" resp with
+  | Some r -> (
+      match J.member k r with
+      | Some v -> v
+      | None -> Alcotest.fail (Printf.sprintf "result lacks %S" k))
+  | None -> Alcotest.fail "response lacks result"
+
+(* One response required; mutation and load answer immediately, solves
+   answer at the flush this helper forces. *)
+let one srv r =
+  let immediate = Server.handle_request srv r in
+  match immediate @ Server.flush srv with
+  | [ r ] -> r
+  | rs ->
+      Alcotest.fail
+        (Printf.sprintf "expected one response, got %d" (List.length rs))
+
+let add_edges_req ?(id = 1) edges =
+  Printf.sprintf
+    "{\"schema\":\"WM_REQ_v1\",\"id\":%d,\"verb\":\"add_edges\",\"edges\":[%s]}"
+    id
+    (String.concat ","
+       (List.map (fun (u, v, w) -> Printf.sprintf "[%d,%d,%d]" u v w) edges))
+
+let remove_edges_req ?(id = 1) edges =
+  Printf.sprintf
+    "{\"schema\":\"WM_REQ_v1\",\"id\":%d,\"verb\":\"remove_edges\",\"edges\":[%s]}"
+    id
+    (String.concat ","
+       (List.map (fun (u, v) -> Printf.sprintf "[%d,%d]" u v) edges))
 
 (* ------------------------------------------------------------------ *)
 (* Protocol *)
@@ -129,6 +167,62 @@ let test_cache_key_canonical () =
     (Protocol.cache_key ~digest:"abc"
        { (p 3) with Protocol.deadline_ms = Some 50 })
 
+let test_parse_mutations () =
+  (match
+     (req
+        "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"add_edges\",\"edges\":[[0,1,9],[2,3,4]]}")
+       .Protocol.verb
+   with
+  | Protocol.Add_edges { digest = None; edges = [ (0, 1, 9); (2, 3, 4) ] } ->
+      ()
+  | _ -> Alcotest.fail "add_edges misparsed");
+  (match
+     (req
+        "{\"schema\":\"WM_REQ_v1\",\"id\":2,\"verb\":\"remove_edges\",\"digest\":\"abc\",\"edges\":[[5,1]]}")
+       .Protocol.verb
+   with
+  | Protocol.Remove_edges { digest = Some "abc"; edges = [ (5, 1) ] } -> ()
+  | _ -> Alcotest.fail "remove_edges misparsed");
+  (match
+     (req
+        "{\"schema\":\"WM_REQ_v1\",\"id\":3,\"verb\":\"add_vertices\",\"count\":2,\"digest\":\"latest\"}")
+       .Protocol.verb
+   with
+  | Protocol.Add_vertices { digest = None; count = 2 } -> ()
+  | _ -> Alcotest.fail "add_vertices misparsed");
+  (* the canonical encoding sorts and normalises endpoint order, so the
+     same delta always yields the same ledger label *)
+  check_str "canonical delta"
+    (Protocol.canonical_delta ~add_vertices:1 ~add:[ (3, 2, 7); (0, 1, 9) ]
+       ~remove:[ (5, 4) ])
+    (Protocol.canonical_delta ~add_vertices:1 ~add:[ (1, 0, 9); (2, 3, 7) ]
+       ~remove:[ (4, 5) ])
+
+let test_parse_mutation_rejects () =
+  let bad line =
+    match Protocol.parse_request line with
+    | Error msg ->
+        check_bool "one-line error" true (not (String.contains msg '\n'))
+    | Ok _ -> Alcotest.fail ("accepted: " ^ line)
+  in
+  (* empty edge lists *)
+  bad "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"add_edges\",\"edges\":[]}";
+  bad "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"remove_edges\",\"edges\":[]}";
+  (* wrong arity: pairs where triples belong and vice versa *)
+  bad
+    "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"add_edges\",\"edges\":[[0,1]]}";
+  bad
+    "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"remove_edges\",\"edges\":[[0,1,5]]}";
+  (* non-integer tuple members and missing payloads *)
+  bad
+    "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"add_edges\",\"edges\":[[0,\"x\",5]]}";
+  bad "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"add_edges\"}";
+  (* add_vertices needs a positive count *)
+  bad "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"add_vertices\"}";
+  bad "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"add_vertices\",\"count\":0}";
+  bad
+    "{\"schema\":\"WM_REQ_v1\",\"id\":1,\"verb\":\"add_vertices\",\"count\":-3}"
+
 (* ------------------------------------------------------------------ *)
 (* LRU cache *)
 
@@ -164,6 +258,20 @@ let test_cache_disabled () =
   Cache.add c "a" 1;
   check "nothing stored" 0 (Cache.length c);
   check_bool "always misses" true (Cache.find c "a" = None)
+
+(* Regression: clear used to drop the entries but keep the eviction
+   tally, so a cleared cache reported phantom evictions forever. *)
+let test_cache_clear_resets_evictions () =
+  let c = Cache.create ~capacity:1 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  check "one eviction before clear" 1 (Cache.evictions c);
+  Cache.clear c;
+  check "cleared entries" 0 (Cache.length c);
+  check "clear resets evictions" 0 (Cache.evictions c);
+  Cache.add c "c" 3;
+  Cache.add c "d" 4;
+  check "counting restarts from zero" 1 (Cache.evictions c)
 
 (* ------------------------------------------------------------------ *)
 (* Server *)
@@ -285,6 +393,149 @@ let test_evict_purges_cache () =
   match immediate @ Server.flush srv with
   | [ r ] -> check_bool "recomputed" true (not (cached r))
   | _ -> Alcotest.fail "expected one response"
+
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions *)
+
+(* first endpoint pair absent from [g] (for additions that must not
+   collide with an existing edge) *)
+let non_edge g =
+  let rec find u v =
+    if u >= G.n g then Alcotest.fail "graph is complete"
+    else if v >= G.n g then find (u + 1) (u + 2)
+    else if G.mem_edge g u v then find u (v + 1)
+    else (u, v)
+  in
+  find 0 1
+
+let test_mutate_rekeys_session () =
+  let srv = server () in
+  let g = small_graph 3 in
+  let d = load_graph srv 3 in
+  let au, av = non_edge g in
+  let r = one srv (req (add_edges_req ~id:2 [ (au, av, 9) ])) in
+  check_str "mutation ok" "ok" (status r);
+  check_str "previous digest" d (str_field r "previous_digest");
+  let patched = G.patch g ~add:[ Wm_graph.Edge.make au av 9 ] () in
+  let d1 = Wm_graph.Graph_io.digest patched in
+  check_str "rekeyed to the patched content" d1 (str_field r "digest");
+  check_bool "generation bumped" true
+    (J.member "generation" r = Some (J.Int 1));
+  (match Server.sessions srv with
+  | [ (d', n, m) ] ->
+      check_str "session table rekeyed" d1 d';
+      check "n unchanged" (G.n g) n;
+      check "one more edge" (G.m g + 1) m
+  | _ -> Alcotest.fail "expected one session");
+  (* a removal chains on top of the mutated session (digest "latest") *)
+  let ru, rv = Wm_graph.Edge.endpoints (G.edges g).(0) in
+  let r2 = one srv (req (remove_edges_req ~id:3 [ (ru, rv) ])) in
+  let patched2 = G.patch patched ~remove:[ (ru, rv) ] () in
+  check_str "chained removal rekeys" (Wm_graph.Graph_io.digest patched2)
+    (str_field r2 "digest");
+  check_bool "generation counts mutations" true
+    (J.member "generation" r2 = Some (J.Int 2))
+
+let test_mutate_error_leaves_session () =
+  let srv = server () in
+  let g = small_graph 3 in
+  let d = load_graph srv 3 in
+  let au, av = non_edge g in
+  (* removing an absent edge must fail without touching the session *)
+  (match Server.handle_request srv (remove_edges_req ~id:2 [ (au, av) ] |> req) with
+  | [ r ] -> check_str "rejected" "error" (status r)
+  | _ -> Alcotest.fail "expected one error response");
+  (match Server.sessions srv with
+  | [ (d', _, m) ] ->
+      check_str "digest untouched" d d';
+      check "edge count untouched" (G.m g) m
+  | _ -> Alcotest.fail "expected one session");
+  (* and the cached result for the untouched content still hits *)
+  let r1 = one srv (solve_req ~id:3 ()) in
+  check_bool "first solve computes" true (not (cached r1));
+  (match Server.handle_request srv (add_edges_req ~id:4 [ (au, av, -5) ] |> req) with
+  | [ r ] -> check_str "negative weight rejected" "error" (status r)
+  | _ -> Alcotest.fail "expected one error response");
+  let r2 = one srv (solve_req ~id:5 ()) in
+  check_bool "cache survives the failed mutation" true (cached r2)
+
+(* The equivalence property behind incremental sessions: mutating a
+   loaded session must be indistinguishable from loading the mutated
+   content directly — same digest, and (cold-for-cold) the same solve.
+   Warm-started solves share the digest but take their own improvement
+   trajectory, so the weight leg runs with warm starts disabled. *)
+let test_mutate_equiv_direct_load () =
+  List.iter
+    (fun seed ->
+      let g = small_graph seed in
+      let au, av = non_edge g in
+      let ru, rv = Wm_graph.Edge.endpoints (G.edges g).(1) in
+      let patched =
+        G.patch g ~add_vertices:1
+          ~add:[ Wm_graph.Edge.make au av 17 ]
+          ~remove:[ (ru, rv) ] ()
+      in
+      let srv_mut = server ~warm_start:false () in
+      let _ = load_graph srv_mut seed in
+      let r_add =
+        one srv_mut
+          (req
+             "{\"schema\":\"WM_REQ_v1\",\"id\":2,\"verb\":\"add_vertices\",\"count\":1}")
+      in
+      check_str "add_vertices ok" "ok" (status r_add);
+      ignore (one srv_mut (req (add_edges_req ~id:3 [ (au, av, 17) ])));
+      let r_mut = one srv_mut (req (remove_edges_req ~id:4 [ (ru, rv) ])) in
+      check_str "mutated digest matches direct construction"
+        (Wm_graph.Graph_io.digest patched)
+        (str_field r_mut "digest");
+      let srv_direct = server ~warm_start:false () in
+      (match
+         Server.handle_request srv_direct
+           {
+             Protocol.id = 1;
+             verb =
+               Protocol.Load
+                 {
+                   graph = Some (Wm_graph.Graph_io.to_string patched);
+                   path = None;
+                 };
+           }
+       with
+      | [ r ] ->
+          check_str "direct load keys to the same digest"
+            (str_field r_mut "digest") (str_field r "digest")
+      | _ -> Alcotest.fail "load did not answer exactly once");
+      let s_mut = one srv_mut (solve_req ~id:5 ()) in
+      let s_direct = one srv_direct (solve_req ~id:2 ()) in
+      check_bool
+        (Printf.sprintf "seed %d: identical solve result" seed)
+        true
+        (J.member "result" s_mut = J.member "result" s_direct))
+    [ 3; 7; 11; 19 ]
+
+(* Warm-started re-solves after deletions: the repaired previous
+   matching must never leak an edge that no longer exists, so the
+   response's validity check (run in the mutated graph) must pass. *)
+let test_warm_solve_after_delete () =
+  let srv = server () in
+  let g = small_graph 5 in
+  let _ = load_graph srv 5 in
+  let r1 = one srv (solve_req ~id:2 ()) in
+  check_bool "cold first solve" true (result_field r1 "warm" = J.Bool false);
+  (* delete a handful of edges, some of which are likely matched *)
+  let drops =
+    [ 0; 1; 2; 3 ]
+    |> List.map (fun i -> Wm_graph.Edge.endpoints (G.edges g).(i))
+  in
+  ignore (one srv (req (remove_edges_req ~id:3 drops)));
+  let r2 = one srv (solve_req ~id:4 ()) in
+  check_str "warm solve ok" "ok" (status r2);
+  check_bool "solve is warm-started" true (result_field r2 "warm" = J.Bool true);
+  check_bool "warm matching valid in the mutated graph" true
+    (result_field r2 "valid" = J.Bool true);
+  (* greedy never warm-starts (single-pass; no improvement loop) *)
+  let r3 = one srv (solve_req ~id:5 ~algo:"greedy" ()) in
+  check_bool "greedy stays cold" true (result_field r3 "warm" = J.Bool false)
 
 let test_blank_line_and_eof_flush () =
   let srv = server () in
@@ -449,6 +700,9 @@ let () =
           Alcotest.test_case "rejects" `Quick test_parse_rejects;
           Alcotest.test_case "cache key canonical" `Quick
             test_cache_key_canonical;
+          Alcotest.test_case "mutation verbs" `Quick test_parse_mutations;
+          Alcotest.test_case "mutation rejects" `Quick
+            test_parse_mutation_rejects;
         ] );
       ( "cache",
         [
@@ -456,6 +710,8 @@ let () =
           Alcotest.test_case "replace and remove" `Quick
             test_cache_replace_and_remove;
           Alcotest.test_case "capacity 0 disables" `Quick test_cache_disabled;
+          Alcotest.test_case "clear resets evictions" `Quick
+            test_cache_clear_resets_evictions;
         ] );
       ( "server",
         [
@@ -467,6 +723,14 @@ let () =
           Alcotest.test_case "solve errors" `Quick test_solve_errors;
           Alcotest.test_case "evict purges cache" `Quick
             test_evict_purges_cache;
+          Alcotest.test_case "mutate rekeys session" `Quick
+            test_mutate_rekeys_session;
+          Alcotest.test_case "mutate error leaves session" `Quick
+            test_mutate_error_leaves_session;
+          Alcotest.test_case "mutate equals direct load" `Quick
+            test_mutate_equiv_direct_load;
+          Alcotest.test_case "warm solve after delete" `Quick
+            test_warm_solve_after_delete;
           Alcotest.test_case "blank line and eof" `Quick
             test_blank_line_and_eof_flush;
           Alcotest.test_case "driver cancellation" `Quick
