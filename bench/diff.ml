@@ -29,6 +29,7 @@ let () =
   let space = ref D.default_thresholds.D.space in
   let counter = ref D.default_thresholds.D.counter in
   let min_base = ref D.default_thresholds.D.min_counter_base in
+  let gc = ref D.default_thresholds.D.gc in
   let paths = ref [] in
   let args =
     [
@@ -44,6 +45,9 @@ let () =
       ( "--min-counter-base",
         Arg.Set_int min_base,
         "skip non-space counters with a smaller baseline (default 16)" );
+      ( "--max-gc-regress",
+        Arg.Set_float gc,
+        "max relative increase of gc-block allocation tallies (default 1.0)" );
     ]
   in
   let usage = "diff.exe BASE.json CAND.json [options]" in
@@ -59,6 +63,7 @@ let () =
       D.space = !space;
       D.counter = !counter;
       D.min_counter_base = !min_base;
+      D.gc = !gc;
     }
   in
   match

@@ -163,6 +163,32 @@ let () =
       | Some (J.Obj _) -> ()
       | _ -> fail "%s: obs snapshot lacks \"counters\"" path)
   | None -> fail "%s: missing \"obs\" snapshot" path);
+  (* GC accounting: the top-level "gc" block is mandatory — allocation
+     is a guarded resource, same as wall-clock and space.  Serve-mode
+     reports may legitimately record zero rounds; solve-mode reports
+     must additionally carry the "gc" ledger section (checked below)
+     so per-round minor-allocation deltas are never silently absent. *)
+  let solve_mode = J.member "serve" json = None in
+  (match J.member "gc" json with
+  | Some g ->
+      List.iter
+        (fun k ->
+          match J.member k g with
+          | Some (J.Int n) when n >= 0 -> ()
+          | _ -> fail "%s: gc block lacks non-negative int %S" path k)
+        [
+          "minor_words"; "promoted_words"; "major_words";
+          "minor_collections"; "major_collections"; "top_heap_words";
+          "rounds"; "minor_words_per_round";
+        ];
+      (match (J.member "minor_words" g, J.member "top_heap_words" g) with
+      | Some (J.Int mw), Some (J.Int th) ->
+          if solve_mode && mw = 0 then
+            fail "%s: gc block reports zero minor allocation for a solve run"
+              path;
+          if th = 0 then fail "%s: gc block reports zero top_heap_words" path
+      | _ -> assert false)
+  | None -> fail "%s: missing \"gc\" block" path);
   (* Histograms: non-empty, and each entry structurally sound (count
      matches the bucket-count sum, percentiles ordered). *)
   let check_histogram name h =
@@ -206,7 +232,10 @@ let () =
   | Some (J.Obj []) -> fail "%s: empty \"histograms\" section" path
   | Some (J.Obj hists) -> List.iter (fun (n, h) -> check_histogram n h) hists
   | _ -> fail "%s: missing \"histograms\" section" path);
-  (* Ledger: non-empty, every section a list of rows with int fields. *)
+  (* Ledger: non-empty, every section a list of rows with int fields.
+     Solve-mode reports must carry a "gc" section whose every row has a
+     non-negative minor_words field — a report without minor-allocation
+     accounting cannot back an allocation claim. *)
   (match J.member "ledger" json with
   | Some (J.Obj []) -> fail "%s: empty \"ledger\" section" path
   | Some (J.Obj sections) ->
@@ -227,11 +256,26 @@ let () =
                               fail
                                 "%s: ledger %s: field %S is not an int"
                                 path name k)
-                        fields
+                        fields;
+                      if name = "gc" then (
+                        match List.assoc_opt "minor_words" fields with
+                        | Some (J.Int n) when n >= 0 -> ()
+                        | _ ->
+                            fail
+                              "%s: ledger gc: row lacks non-negative \
+                               minor_words"
+                              path)
                   | _ -> fail "%s: ledger %s: row is not an object" path name)
                 rows
           | _ -> fail "%s: ledger section %s is not a list" path name)
-        sections
+        sections;
+      if solve_mode then (
+        match List.assoc_opt "gc" sections with
+        | Some (J.List (_ :: _)) -> ()
+        | _ ->
+            fail
+              "%s: solve-mode report lacks a non-empty \"gc\" ledger section"
+              path)
   | _ -> fail "%s: missing \"ledger\" section" path);
   (* Fault-injection summary: present even for fault-free runs ("none"
      spec, all-zero tallies); every tally a non-negative int. *)

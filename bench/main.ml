@@ -155,7 +155,14 @@ let write_json ~path json =
       output_char oc '\n');
   Printf.printf "\nwrote %s\n%!" path
 
-let write_report ~path ~quick ~seed ~jobs ~trace_path ~sections ~micro =
+let write_report ~path ~quick ~seed ~jobs ~trace_path ~sections ~micro ~gc =
+  (* Solve-mode reports must carry a "gc" ledger section even when no
+     improvement round ran (T1's random-arrival solves never enter
+     Main_alg): the run total is itself a row. *)
+  Wm_obs.Ledger.record ~label:"total" Wm_obs.Ledger.default ~section:"gc"
+    (List.filter
+       (fun (k, _) -> k <> "compactions")
+       (Wm_obs.Gcstat.fields gc));
   let obs_json = Obs.to_json Obs.default in
   let histograms =
     match J.member "histograms" obs_json with
@@ -182,6 +189,7 @@ let write_report ~path ~quick ~seed ~jobs ~trace_path ~sections ~micro =
                  J.Obj [ ("name", J.Str name); ("ns_per_run", J.Float ns) ])
                micro) );
         ("obs", obs_json);
+        ("gc", Wm_obs.Gcstat.block_json ~ledger:Wm_obs.Ledger.default gc);
         ("histograms", histograms);
         ("ledger", Wm_obs.Ledger.to_json Wm_obs.Ledger.default);
         ("faults", Wm_fault.Recovery.report_json ());
@@ -199,9 +207,14 @@ let () =
   let trace_path = ref "" in
   let jobs = ref 0 in
   let faults = ref "" in
+  let scale = ref false in
   let args =
     [
       ("--full", Arg.Set full, "full-size experiments (slower)");
+      ( "--scale",
+        Arg.Set scale,
+        "run the T11 million-edge scale tier at full size (n up to 10^6), \
+         regardless of --full/--only" );
       ("--only", Arg.Set_string only, "comma-separated experiment ids");
       ("--seed", Arg.Set_int seed, "base random seed (default 42)");
       ("--no-micro", Arg.Clear micro, "skip bechamel micro-benchmarks");
@@ -223,8 +236,8 @@ let () =
     ]
   in
   let usage =
-    "bench/main.exe [--full] [--only IDS] [--seed N] [--no-micro] [--json \
-     PATH] [--trace PATH] [--jobs N] [--faults SPEC]"
+    "bench/main.exe [--full] [--scale] [--only IDS] [--seed N] [--no-micro] \
+     [--json PATH] [--trace PATH] [--jobs N] [--faults SPEC]"
   in
   Arg.parse args
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
@@ -247,13 +260,20 @@ let () =
     !seed jobs;
   if !json_path <> "" then Report.start_capture ();
   if !trace_path <> "" then Wm_obs.Trace.set_enabled true;
-  (if !only = "" then Wm_harness.Experiments.run_all ~quick ~seed:!seed
+  (if !scale then
+     match Wm_harness.Experiments.find "T11" with
+     | Some e -> e.Wm_harness.Experiments.run ~quick:false ~seed:!seed
+     | None -> Printf.printf "unknown experiment id: T11\n"
+   else if !only = "" then Wm_harness.Experiments.run_all ~quick ~seed:!seed
    else
      String.split_on_char ',' !only
      |> List.iter (fun id ->
             match Wm_harness.Experiments.find (String.trim id) with
             | Some e -> e.Wm_harness.Experiments.run ~quick ~seed:!seed
             | None -> Printf.printf "unknown experiment id: %s\n" id));
+  (* Snapshot the GC delta before the micro benches: the report's "gc"
+     block accounts the experiment phase only. *)
+  let gc = Wm_obs.Gcstat.since_start () in
   let micro_estimates = if !micro then micro_benchmarks () else [] in
   (* Stop tracing before export: export reads the per-domain buffers
      without synchronising with writers. *)
@@ -271,4 +291,4 @@ let () =
   if !json_path <> "" then
     write_report ~path:!json_path ~quick ~seed:!seed ~jobs
       ~trace_path:!trace_path ~sections:(Report.capture ())
-      ~micro:micro_estimates
+      ~micro:micro_estimates ~gc

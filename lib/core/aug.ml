@@ -135,6 +135,35 @@ let touched_vertices c m =
     (matching_neighborhood c m);
   Hashtbl.fold (fun v () acc -> v :: acc) tbl []
 
+(* Canonical key: the lexicographically least vertex walk over every
+   presentation of the same structure — both directions for a path, all
+   rotations of both directions for a cycle (lengths are bounded by the
+   layer cap, so the O(len^2) scan is trivial).  A leading tag keeps
+   path and cycle keys disjoint. *)
+let canonical_key c =
+  match c with
+  | Path _ ->
+      let w = walk c in
+      let r = List.rev w in
+      0 :: (if Stdlib.compare w r <= 0 then w else r)
+  | Cycle _ ->
+      let vs = Array.of_list (vertices c) in
+      let n = Array.length vs in
+      if n = 0 then [ 1 ]
+      else begin
+        let best = ref None in
+        let consider l =
+          match !best with
+          | Some b when Stdlib.compare b l <= 0 -> ()
+          | _ -> best := Some l
+        in
+        for s = 0 to n - 1 do
+          consider (List.init n (fun i -> vs.((s + i) mod n)));
+          consider (List.init n (fun i -> vs.((s - i + n) mod n)))
+        done;
+        1 :: Option.get !best
+      end
+
 let conflicts c1 c2 =
   let tbl = Hashtbl.create 16 in
   List.iter (fun v -> Hashtbl.replace tbl v ()) (vertices c1);

@@ -56,6 +56,14 @@ val apply : t -> Wm_graph.Matching.t -> unit
 val conflicts : t -> t -> bool
 (** The two augmentations share a vertex (so applying both is unsafe). *)
 
+val canonical_key : t -> int list
+(** A total, presentation-independent key: the lexicographically least
+    vertex walk over both directions (paths) or all rotations of both
+    directions (cycles), tagged so path and cycle keys never collide.
+    Two augmentations over the same edges get the same key however
+    their edge lists are oriented; used to pin equal-gain tie-breaking
+    to a canonical order. *)
+
 val touched_vertices : t -> Wm_graph.Matching.t -> int list
 (** Vertices of [C ∪ C^M] — the set that must be reserved when applying
     augmentations greedily (Algorithm 3, line 8). *)

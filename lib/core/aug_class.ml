@@ -1,6 +1,7 @@
 module E = Wm_graph.Edge
 module G = Wm_graph.Weighted_graph
 module M = Wm_graph.Matching
+module Arena = Wm_graph.Arena
 
 type stats = {
   pairs_tried : int;
@@ -14,26 +15,41 @@ type stats = {
       (* max measured stream passes across the (parallel) instances *)
 }
 
+(* Bucket membership lives in two epoch-stamped sets over the dense
+   granule universe [0 .. cap] — a per-domain arena, so the scan
+   allocates only the two result lists (one cell per *distinct*
+   bucket).  Returned ascending; every consumer sorts anyway. *)
+let pb_slot =
+  Arena.slot (fun () -> (Arena.Stamp.create (), Arena.Stamp.create ()))
+
 let present_buckets params (gp : Layered.parametrized) ~scale =
   let tp = Params.tau_params params in
   let granule = params.Params.granularity *. scale in
   let cap = Tau.max_granules tp in
-  let a_tbl = Hashtbl.create 16 and b_tbl = Hashtbl.create 16 in
+  let a_set, b_set = Arena.get pb_slot in
+  Arena.Stamp.reset a_set (cap + 1);
+  Arena.Stamp.reset b_set (cap + 1);
   G.iter_edges
     (fun e ->
       let u, v = E.endpoints e in
       if gp.Layered.side.(u) <> gp.Layered.side.(v) then
         if M.mem gp.Layered.matching e then begin
           let bkt = Tau.bucket_up ~granule (E.weight e) in
-          if bkt <= cap then Hashtbl.replace a_tbl bkt ()
+          if bkt <= cap then Arena.Stamp.mark a_set bkt
         end
         else begin
           let bkt = Tau.bucket_down ~granule (E.weight e) in
-          if bkt >= 2 && bkt <= cap then Hashtbl.replace b_tbl bkt ()
+          if bkt >= 2 && bkt <= cap then Arena.Stamp.mark b_set bkt
         end)
     gp.Layered.graph;
-  let keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
-  (keys a_tbl, keys b_tbl)
+  let collect set =
+    let acc = ref [] in
+    for k = cap downto 0 do
+      if Arena.Stamp.mem set k then acc := k :: !acc
+    done;
+    !acc
+  in
+  (collect a_set, collect b_set)
 
 (* Random alternating walks give tau pairs biased towards shapes that
    are actually realisable in the data — a practical stand-in for the
@@ -60,13 +76,25 @@ let walk_pairs params rng (gp : Layered.parametrized) ~scale ~count =
       let steps = 1 + Wm_graph.Prng.int rng (params.Params.max_layers - 1) in
       (try
          for _ = 1 to steps do
-           let unmatched =
-             List.filter (fun (_, e) -> not (M.mem m e)) (G.neighbors g !cur)
+           (* Count-then-pick over the CSR slice: one draw on the same
+              count the old neighbour-list filter produced, so the Prng
+              stream (hence every downstream decision) is unchanged —
+              but no per-neighbour list cells. *)
+           let unmatched_count =
+             G.fold_neighbors g !cur
+               (fun acc _ e -> if M.mem m e then acc else acc + 1)
+               0
            in
-           if unmatched = [] then raise Exit;
-           let _, o =
-             List.nth unmatched (Wm_graph.Prng.int rng (List.length unmatched))
-           in
+           if unmatched_count = 0 then raise Exit;
+           let idx = Wm_graph.Prng.int rng unmatched_count in
+           let picked = ref None in
+           let seen = ref 0 in
+           G.iter_neighbors g !cur (fun _ e ->
+               if not (M.mem m e) then begin
+                 if !seen = idx then picked := Some e;
+                 incr seen
+               end);
+           let o = match !picked with Some e -> e | None -> assert false in
            b_buckets := Tau.bucket_down ~granule (E.weight o) :: !b_buckets;
            let x = E.other o !cur in
            match M.edge_at m x with
@@ -99,30 +127,58 @@ let one_augmentations g m =
       if not (M.mem m e) then begin
         let u, v = E.endpoints e in
         let gain = E.weight e - M.weight_at m u - M.weight_at m v in
-        if gain > 0 then augs := (Aug.Path [ e ], gain) :: !augs
+        if gain > 0 then begin
+          let c = Aug.Path [ e ] in
+          augs := (c, gain, Aug.canonical_key c) :: !augs
+        end
       end)
     g;
-  List.map fst
-    (List.sort (fun (_, g1) (_, g2) -> Int.compare g2 g1) !augs)
+  (* Equal gains break on the canonical path key, making the order a
+     function of the (matching, graph) content alone — not of edge
+     enumeration order or sort internals. *)
+  List.map
+    (fun (c, _, _) -> c)
+    (List.sort
+       (fun (_, g1, k1) (_, g2, k2) ->
+         match Int.compare g2 g1 with
+         | 0 -> Stdlib.compare k1 k2
+         | n -> n)
+       !augs)
 
 let candidate_pairs params rng gp ~scale =
   let tp = Params.tau_params params in
   let a_values, b_values = present_buckets params gp ~scale in
   if b_values = [] then []
   else begin
-    let homog = Tau.homogeneous tp ~a_values ~b_values in
-    let walks =
-      if params.Params.tau_samples > 0 then
-        walk_pairs params rng gp ~scale ~count:params.Params.tau_samples
-      else []
+    (* Single first-wins dedup over the arrival order (homogeneous
+       family, then walk captures, then uniform samples) — the same
+       list the old [Tau.dedup] of the concatenation produced, but the
+       homogeneous family streams through a scratch pair and only its
+       {e new} members are ever materialised. *)
+    let seen = Hashtbl.create 256 in
+    let out = ref [] in
+    let add_scratch pr =
+      if not (Hashtbl.mem seen pr) then begin
+        let fresh = { Tau.a = Array.copy pr.Tau.a; b = Array.copy pr.Tau.b } in
+        Hashtbl.add seen fresh ();
+        out := fresh :: !out
+      end
     in
-    let uniform =
-      if params.Params.tau_samples > 0 then
-        Tau.sample tp rng ~a_values ~b_values
-          ~count:(params.Params.tau_samples / 4)
-      else []
+    let add_own pr =
+      if not (Hashtbl.mem seen pr) then begin
+        Hashtbl.add seen pr ();
+        out := pr :: !out
+      end
     in
-    let all = Tau.dedup (homog @ walks @ uniform) in
+    Tau.iter_homogeneous tp ~a_values ~b_values add_scratch;
+    if params.Params.tau_samples > 0 then begin
+      List.iter add_own
+        (walk_pairs params rng gp ~scale ~count:params.Params.tau_samples);
+      List.iter add_own
+        (Tau.sample tp rng ~a_values ~b_values
+           ~count:(params.Params.tau_samples / 4))
+    end;
+    let all = List.rev !out in
     let rec take n = function
       | [] -> []
       | _ when n = 0 -> []
@@ -144,19 +200,20 @@ type pair_eval = {
   pe_paths : int;
 }
 
-let eval_pair params tp (gp : Layered.parametrized) m ~scale pair =
-  let lay = Layered.build tp gp pair ~scale in
-  let layered_edges = Layered.edge_count lay in
-  (* No between-layer edge survived the filter: nothing to find. *)
-  if layered_edges <= M.size lay.Layered.init then
-    {
-      pe_candidates = [];
-      pe_layered_edges = layered_edges;
-      pe_black_box = false;
-      pe_passes = 0;
-      pe_paths = 0;
-    }
-  else begin
+let eval_pair ~cache params tp (gp : Layered.parametrized) m ~scale pair =
+  match Layered.build_opt ~cache tp gp pair ~scale with
+  (* No between-layer edge survived the filter: nothing to find, and
+     nothing was materialised. *)
+  | Layered.Trivial layered_edges ->
+      {
+        pe_candidates = [];
+        pe_layered_edges = layered_edges;
+        pe_black_box = false;
+        pe_passes = 0;
+        pe_paths = 0;
+      }
+  | Layered.Graph lay ->
+    let layered_edges = Layered.edge_count lay in
     let m', bb_passes =
       Wm_algos.Approx_bipartite.solve_metered ~init:lay.Layered.init
         ~delta:params.Params.delta lay.Layered.lgraph ~left:(Layered.left lay)
@@ -183,14 +240,32 @@ let eval_pair params tp (gp : Layered.parametrized) m ~scale pair =
       pe_passes = bb_passes;
       pe_paths = List.length paths;
     }
-  end
 
-let pair_label pair = Format.asprintf "%a" Tau.pp pair
+(* Same rendering as [Tau.pp], by hand: the label is built once per
+   pair per round and [Format.asprintf]'s machinery was a measurable
+   slice of the per-pair allocation budget. *)
+let pair_label pair =
+  let buf = Buffer.create 48 in
+  let arr prefix a =
+    Buffer.add_string buf prefix;
+    Array.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int x))
+      a;
+    Buffer.add_char buf ']'
+  in
+  arr "a=[" pair.Tau.a;
+  arr " b=[" pair.Tau.b;
+  Buffer.contents buf
+
+let used_slot = Arena.slot (fun () -> Arena.Stamp.create ())
 
 let run ?(span_path = "core.aug_class") params rng g m ~scale =
   let tp = Params.tau_params params in
   let gp = Layered.parametrize rng g m in
   let pairs = candidate_pairs params rng gp ~scale in
+  let cache = Layered.prepare tp gp ~scale in
   (* Phase 1 (parallel): evaluate every pair's layered graph.  The pool
      preserves input order, and [eval_pair] draws no randomness, so the
      result is independent of the jobs setting.  Inside Main_alg's own
@@ -204,7 +279,7 @@ let run ?(span_path = "core.aug_class") params rng g m ~scale =
       (fun pair ->
         Wm_obs.Obs.with_span_root Wm_obs.Obs.default
           (span_path ^ "/pair=" ^ pair_label pair)
-          (fun () -> eval_pair params tp gp m ~scale pair))
+          (fun () -> eval_pair ~cache params tp gp m ~scale pair))
       pairs
   in
   let stats =
@@ -229,27 +304,29 @@ let run ?(span_path = "core.aug_class") params rng g m ~scale =
       evals
   in
   (* Phase 2 (sequential, pair order): used-vertex filtering.  With
-     [combine_pairs], the used-vertex table persists across pairs and
-     every pair contributes; otherwise each pair builds its own set and
-     the best one wins (Algorithm 4 line 13, verbatim). *)
-  let combined_used = Hashtbl.create 64 in
+     [combine_pairs], the used-vertex set persists across pairs and
+     every pair contributes; otherwise each pair starts from an empty
+     set and the best one wins (Algorithm 4 line 13, verbatim).  Either
+     way ONE epoch-stamped arena serves every pair: persisting is
+     keeping the epoch, emptying is bumping it — no per-pair tables. *)
+  let used = Arena.get used_slot in
+  Arena.Stamp.reset used (G.n g);
   let combined = ref ([], 0) in
   let best = ref ([], 0) in
   List.iter
     (fun e ->
       if e.pe_black_box then begin
-        let used =
-          if params.Params.combine_pairs then combined_used else Hashtbl.create 64
-        in
+        if not params.Params.combine_pairs then
+          Arena.Stamp.reset used (G.n g);
         let chosen = ref [] and gain_sum = ref 0 in
         List.iter
           (fun (c, gain) ->
             let touched = Aug.touched_vertices c m in
             let clear =
-              List.for_all (fun v -> not (Hashtbl.mem used v)) touched
+              List.for_all (fun v -> not (Arena.Stamp.mem used v)) touched
             in
             if clear && Aug.is_wellformed c && Aug.is_alternating c m then begin
-              List.iter (fun v -> Hashtbl.replace used v ()) touched;
+              List.iter (Arena.Stamp.mark used) touched;
               chosen := c :: !chosen;
               gain_sum := !gain_sum + gain
             end)

@@ -1,6 +1,7 @@
 module E = Wm_graph.Edge
 module G = Wm_graph.Weighted_graph
 module M = Wm_graph.Matching
+module Arena = Wm_graph.Arena
 module Obs = Wm_obs.Obs
 
 let c_builds = Obs.counter Obs.default "core.layered.builds"
@@ -31,39 +32,142 @@ let vertex_id ~base_n ~layer v = ((layer - 1) * base_n) + v
 let base_vertex ~base_n x = x mod base_n
 let layer_of ~base_n x = (x / base_n) + 1
 
-let build params gp pair ~scale =
+(* Per-domain scratch for [build]: flat arenas replace the
+   cross-matched tuple list, the [keep] bool array and the X/Y edge
+   accumulator lists, so a steady-state build allocates only the
+   layered graph and its initial matching — the two values it
+   returns. *)
+type build_scratch = {
+  keep : Arena.Stamp.t;
+  e_src : Arena.Ints.t;  (* final edge slots: X edges, then reversed Y *)
+  e_dst : Arena.Ints.t;
+  e_w : Arena.Ints.t;
+  y_src : Arena.Ints.t;
+  y_dst : Arena.Ints.t;
+  y_w : Arena.Ints.t;
+}
+
+let scratch_slot =
+  Arena.slot (fun () ->
+      let i () = Arena.Ints.create () in
+      {
+        keep = Arena.Stamp.create ();
+        e_src = i (); e_dst = i (); e_w = i ();
+        y_src = i (); y_dst = i (); y_w = i ();
+      })
+
+(* The pair-invariant half of a build: the crossing matched edges with
+   their up-buckets (in M.fold order) and the crossing unmatched edges,
+   R/L-oriented, with their down-buckets (in G.iter_edges order).
+   Buckets depend only on the granule, so one cache serves every pair
+   of an [Aug_class.run] — without it each pair re-scans all [m] base
+   edges through tuple-returning accessors, which was the single
+   largest allocator on the round hot path.  Immutable after
+   [prepare], so it is shared read-only across pool workers. *)
+type cache = {
+  xm_u : int array;
+  xm_v : int array;
+  xm_w : int array;
+  xm_b : int array;
+  yc_r : int array;
+  yc_l : int array;
+  yc_w : int array;
+  yc_b : int array;
+}
+
+let prepare params (gp : parametrized) ~scale =
+  let granule = params.Tau.granularity *. scale in
+  let nxm = ref 0 and nyc = ref 0 in
+  M.iter
+    (fun e ->
+      let u, v = E.endpoints e in
+      if gp.side.(u) <> gp.side.(v) then incr nxm)
+    gp.matching;
+  G.iter_edges
+    (fun e ->
+      if not (M.mem gp.matching e) then begin
+        let u, v = E.endpoints e in
+        if gp.side.(u) <> gp.side.(v) then incr nyc
+      end)
+    gp.graph;
+  let c =
+    {
+      xm_u = Array.make !nxm 0;
+      xm_v = Array.make !nxm 0;
+      xm_w = Array.make !nxm 0;
+      xm_b = Array.make !nxm 0;
+      yc_r = Array.make !nyc 0;
+      yc_l = Array.make !nyc 0;
+      yc_w = Array.make !nyc 0;
+      yc_b = Array.make !nyc 0;
+    }
+  in
+  let i = ref 0 in
+  M.iter
+    (fun e ->
+      let u, v = E.endpoints e in
+      if gp.side.(u) <> gp.side.(v) then begin
+        c.xm_u.(!i) <- u;
+        c.xm_v.(!i) <- v;
+        c.xm_w.(!i) <- E.weight e;
+        c.xm_b.(!i) <- Tau.bucket_up ~granule (E.weight e);
+        incr i
+      end)
+    gp.matching;
+  let j = ref 0 in
+  G.iter_edges
+    (fun e ->
+      if not (M.mem gp.matching e) then begin
+        let u, v = E.endpoints e in
+        if gp.side.(u) <> gp.side.(v) then begin
+          let r, l = if gp.side.(u) then (v, u) else (u, v) in
+          c.yc_r.(!j) <- r;
+          c.yc_l.(!j) <- l;
+          c.yc_w.(!j) <- E.weight e;
+          c.yc_b.(!j) <- Tau.bucket_down ~granule (E.weight e);
+          incr j
+        end
+      end)
+    gp.graph;
+  c
+
+(* Fill the per-domain scratch with one pair's layered edges (X edges
+   in order, then reversed Y edges); shared by [build] and
+   [build_opt].  Returns the scratch, the layer count, the X-edge
+   count and the total edge count. *)
+let fill_scratch ?cache params gp pair ~scale =
   let n = G.n gp.graph in
   let k = Array.length pair.Tau.b in
   let layer_count = k + 1 in
-  let granule = params.Tau.granularity *. scale in
-  (* Matched edges that cross the bipartition, with their up-bucket. *)
-  let cross_matched =
-    M.fold
-      (fun acc e ->
-        let u, v = E.endpoints e in
-        if gp.side.(u) <> gp.side.(v) then
-          (e, Tau.bucket_up ~granule (E.weight e)) :: acc
-        else acc)
-      [] gp.matching
-  in
-  (* keep.(x) for layered vertices; X edges decide intermediate layers. *)
-  let keep = Array.make (layer_count * n) false in
-  let x_edges = ref [] in
+  let c = match cache with Some c -> c | None -> prepare params gp ~scale in
+  let s = Arena.get scratch_slot in
+  Arena.Ints.clear s.e_src; Arena.Ints.clear s.e_dst;
+  Arena.Ints.clear s.e_w;
+  Arena.Ints.clear s.y_src; Arena.Ints.clear s.y_dst;
+  Arena.Ints.clear s.y_w;
+  Arena.Stamp.reset s.keep (layer_count * n);
+  let cm_len = Array.length c.xm_u in
+  (* keep marks for layered vertices; X edges decide intermediate
+     layers.  The pre-arena code walked a consed list (reverse
+     traversal order), so iterate the cache downwards to keep the
+     exact edge order. *)
   for layer = 1 to layer_count do
     let want = pair.Tau.a.(layer - 1) in
-    List.iter
-      (fun (e, bkt) ->
-        if bkt = want then begin
-          let u, v = E.endpoints e in
-          let lu = vertex_id ~base_n:n ~layer u
-          and lv = vertex_id ~base_n:n ~layer v in
-          keep.(lu) <- true;
-          keep.(lv) <- true;
-          if layer >= 2 && layer <= layer_count - 1 then
-            x_edges := E.make lu lv (E.weight e) :: !x_edges
-        end)
-      cross_matched
+    for i = cm_len - 1 downto 0 do
+      if c.xm_b.(i) = want then begin
+        let lu = vertex_id ~base_n:n ~layer c.xm_u.(i)
+        and lv = vertex_id ~base_n:n ~layer c.xm_v.(i) in
+        Arena.Stamp.mark s.keep lu;
+        Arena.Stamp.mark s.keep lv;
+        if layer >= 2 && layer <= layer_count - 1 then begin
+          Arena.Ints.push s.e_src lu;
+          Arena.Ints.push s.e_dst lv;
+          Arena.Ints.push s.e_w c.xm_w.(i)
+        end
+      end
+    done
   done;
+  let x_len = Arena.Ints.length s.e_src in
   (* First/last-layer free-vertex filtering: an endpoint vertex with no
      surviving matched edge is kept only when it is M-free and the
      corresponding threshold is 0. *)
@@ -71,41 +175,85 @@ let build params gp pair ~scale =
     let free = not (M.is_matched gp.matching v) in
     (* Layer 1: starts are R-vertices. *)
     let l1 = vertex_id ~base_n:n ~layer:1 v in
-    if (not keep.(l1)) && not gp.side.(v) then
-      if free && pair.Tau.a.(0) = 0 then keep.(l1) <- true;
+    if (not (Arena.Stamp.mem s.keep l1)) && not gp.side.(v) then
+      if free && pair.Tau.a.(0) = 0 then Arena.Stamp.mark s.keep l1;
     (* Layer k+1: ends are L-vertices. *)
     let lk = vertex_id ~base_n:n ~layer:layer_count v in
-    if (not keep.(lk)) && gp.side.(v) then
-      if free && pair.Tau.a.(layer_count - 1) = 0 then keep.(lk) <- true
+    if (not (Arena.Stamp.mem s.keep lk)) && gp.side.(v) then
+      if free && pair.Tau.a.(layer_count - 1) = 0 then
+        Arena.Stamp.mark s.keep lk
   done;
   (* Between-layer (Y) edges: unmatched, R in layer t to L in layer t+1,
-     weight rounding down to tau^B_t. *)
-  let y_edges = ref [] in
-  G.iter_edges
-    (fun e ->
-      if not (M.mem gp.matching e) then begin
-        let u, v = E.endpoints e in
-        if gp.side.(u) <> gp.side.(v) then begin
-          let r, l = if gp.side.(u) then (v, u) else (u, v) in
-          let bkt = Tau.bucket_down ~granule (E.weight e) in
-          for t = 1 to k do
-            if pair.Tau.b.(t - 1) = bkt then begin
-              let lr = vertex_id ~base_n:n ~layer:t r
-              and ll = vertex_id ~base_n:n ~layer:(t + 1) l in
-              if keep.(lr) && keep.(ll) then
-                y_edges := E.make lr ll (E.weight e) :: !y_edges
-            end
-          done
+     weight rounding down to tau^B_t.  They land after the X edges but
+     in reverse discovery order (the old [rev_append]), so they go
+     through their own arena first. *)
+  for i = 0 to Array.length c.yc_r - 1 do
+    let bkt = c.yc_b.(i) in
+    for t = 1 to k do
+      if pair.Tau.b.(t - 1) = bkt then begin
+        let lr = vertex_id ~base_n:n ~layer:t c.yc_r.(i)
+        and ll = vertex_id ~base_n:n ~layer:(t + 1) c.yc_l.(i) in
+        if Arena.Stamp.mem s.keep lr && Arena.Stamp.mem s.keep ll then begin
+          Arena.Ints.push s.y_src lr;
+          Arena.Ints.push s.y_dst ll;
+          Arena.Ints.push s.y_w c.yc_w.(i)
         end
-      end)
-    gp.graph;
-  let edges = List.rev_append !x_edges !y_edges in
-  let lgraph = G.create ~n:(layer_count * n) edges in
-  let init = M.of_edges (layer_count * n) !x_edges in
-  Obs.incr c_builds;
-  Obs.add c_edges (List.length edges);
-  Obs.set_max c_edges_max (List.length edges);
+      end
+    done
+  done;
+  for i = Arena.Ints.length s.y_src - 1 downto 0 do
+    Arena.Ints.push s.e_src (Arena.Ints.get s.y_src i);
+    Arena.Ints.push s.e_dst (Arena.Ints.get s.y_dst i);
+    Arena.Ints.push s.e_w (Arena.Ints.get s.y_w i)
+  done;
+  (s, layer_count, x_len, Arena.Ints.length s.e_src)
+
+(* Materialise [t] from the filled scratch.  This is where the O(layer
+   count * n) graph and matching allocations happen — the values the
+   caller retains. *)
+let construct gp pair ~scale s ~layer_count ~x_len =
+  let n = G.n gp.graph in
+  let m_edges = Arena.Ints.length s.e_src in
+  (* No parallel edges by construction — X edges come one per matched
+     edge per layer, Y edges one per base edge per layer gap, and the
+     two kinds join different layer blocks — so the trusted flat
+     constructor applies. *)
+  let lgraph =
+    G.of_flat ~n:(layer_count * n) ~m:m_edges
+      ~src:(Arena.Ints.data s.e_src) ~dst:(Arena.Ints.data s.e_dst)
+      ~w:(Arena.Ints.data s.e_w)
+  in
+  let init = M.create (layer_count * n) in
+  let ledges = G.edges lgraph in
+  for i = 0 to x_len - 1 do
+    M.add init ledges.(i)
+  done;
   { base_n = n; layer_count; lgraph; init; pair; scale; side = gp.side }
+
+let count_build m_edges =
+  Obs.incr c_builds;
+  Obs.add c_edges m_edges;
+  Obs.set_max c_edges_max m_edges
+
+let build ?cache params gp pair ~scale =
+  let s, layer_count, x_len, m_edges =
+    fill_scratch ?cache params gp pair ~scale
+  in
+  count_build m_edges;
+  construct gp pair ~scale s ~layer_count ~x_len
+
+type built = Graph of t | Trivial of int
+
+let build_opt ?cache params gp pair ~scale =
+  let s, layer_count, x_len, m_edges =
+    fill_scratch ?cache params gp pair ~scale
+  in
+  count_build m_edges;
+  (* Every X edge is in [init], so "no Y edge survived" is exactly the
+     "nothing to find" early exit — skip the O(layer_count * n) graph
+     and matching materialisation entirely. *)
+  if m_edges = x_len then Trivial x_len
+  else Graph (construct gp pair ~scale s ~layer_count ~x_len)
 
 let left t x = t.side.(base_vertex ~base_n:t.base_n x)
 

@@ -58,8 +58,35 @@ val base_vertex : base_n:int -> int -> int
 val layer_of : base_n:int -> int -> int
 (** The (1-based) layer a layered vertex lives in. *)
 
-val build : Tau.params -> parametrized -> Tau.pair -> scale:float -> t
-(** Construct [L'] for one [(tau^A, tau^B)] pair and scale [W]. *)
+type cache
+(** The pair-invariant half of a build — the bipartition-crossing
+    matched and unmatched edges with their buckets at one granule.
+    Immutable; share one across every pair of a (parametrization,
+    scale), from any number of domains. *)
+
+val prepare : Tau.params -> parametrized -> scale:float -> cache
+
+val build :
+  ?cache:cache -> Tau.params -> parametrized -> Tau.pair -> scale:float -> t
+(** Construct [L'] for one [(tau^A, tau^B)] pair and scale [W].
+    [cache] (from {!prepare} with the same parametrization and scale)
+    skips the per-pair rescan of all base edges; without it one is
+    computed on the fly. *)
+
+type built =
+  | Graph of t
+  | Trivial of int
+      (** no between-layer edge survived the filter, so [L'] has no
+          augmenting path; the payload is its (X-only) edge count *)
+
+val build_opt :
+  ?cache:cache -> Tau.params -> parametrized -> Tau.pair -> scale:float -> built
+(** As {!build}, but a pair whose layered graph cannot contain an
+    augmenting path returns [Trivial] without materialising the
+    O([layer_count * n]) graph and initial matching — the common case
+    for enumerated pairs, and the hot-path reason per-pair evaluation
+    is allocation-free.  Build counters are updated exactly as
+    {!build} would. *)
 
 val left : t -> int -> bool
 (** Bipartition of the layered graph: a layered copy of an L-vertex is

@@ -20,6 +20,8 @@ type round_stats = {
 
 type run_stats = { rounds : round_stats list; final_weight : int }
 
+let used_slot = Wm_graph.Arena.slot (fun () -> Wm_graph.Arena.Stamp.create ())
+
 let scales_for params g =
   let wmax = G.max_weight g in
   if wmax = 0 then []
@@ -38,6 +40,7 @@ let scales_for params g =
 let improve_once params rng g m =
   Obs.span_open Obs.default "core.main_alg.round";
   Obs.incr c_rounds;
+  let gc_before = Wm_obs.Gcstat.snapshot () in
   let scales = scales_for params g in
   (* Collect augmentations per scale against the round-start matching —
      Algorithm 3 runs the classes "in parallel", and they only read [g]
@@ -67,18 +70,23 @@ let improve_once params rng g m =
   in
   let one_augs = Aug_class.one_augmentations g m in
   (* Greedy cross-class selection, heaviest scale first (lines 5-8). *)
-  let used = Hashtbl.create 256 in
+  let used = Wm_graph.Arena.get used_slot in
+  Wm_graph.Arena.Stamp.reset used (G.n g);
   let applied = ref 0 and gain = ref 0 in
   let select augs =
     List.iter
       (fun c ->
         let touched = Aug.touched_vertices c m in
-        let clear = List.for_all (fun v -> not (Hashtbl.mem used v)) touched in
+        let clear =
+          List.for_all
+            (fun v -> not (Wm_graph.Arena.Stamp.mem used v))
+            touched
+        in
         if clear && Aug.is_alternating c m then begin
           let gc = Aug.gain c m in
           if gc > 0 then begin
             Aug.apply c m;
-            List.iter (fun v -> Hashtbl.replace used v ()) touched;
+            List.iter (Wm_graph.Arena.Stamp.mark used) touched;
             incr applied;
             gain := !gain + gc;
             Obs.observe h_aug_gain gc
@@ -103,6 +111,20 @@ let improve_once params rng g m =
       ("augmentations", !applied);
       ("gain", !gain);
     ];
+  (* Per-round allocation accounting: a program-wide quick_stat delta
+     around the round (the per-scale fan-out included), so the "gc"
+     ledger section exposes the round hot path's constant factor.  The
+     values are comparable across --jobs settings (see Gcstat), though
+     not byte-identical — jobs-invariance checks exclude the "gc"
+     section for exactly this reason. *)
+  let gc_delta =
+    Wm_obs.Gcstat.delta ~before:gc_before (Wm_obs.Gcstat.snapshot ())
+  in
+  Wm_obs.Ledger.record ~label:"round" Wm_obs.Ledger.default ~section:"gc"
+    (("round", Obs.value c_rounds)
+     :: List.filter
+          (fun (k, _) -> k <> "top_heap_words" && k <> "compactions")
+          (Wm_obs.Gcstat.fields gc_delta));
   if Wm_obs.Trace.enabled () then
     Wm_obs.Trace.instant "core.main_alg.round-done"
       ~args:

@@ -113,28 +113,46 @@ let enumerate_k1 p ~a_values ~b_values =
     ends;
   List.rev !out
 
-let homogeneous p ~a_values ~b_values =
+let iter_homogeneous p ~a_values ~b_values f =
   let avs = List.sort_uniq Int.compare a_values in
   let bs = List.sort_uniq Int.compare b_values in
-  let out = ref [] in
   for k = 1 to p.max_layers - 1 do
+    (* One scratch pair per length [k]; its contents are overwritten in
+       place for every (av, bv, ends) combination, so the per-candidate
+       cost is a fill plus the goodness check — no allocation. *)
+    let a = Array.make (k + 1) 0 in
+    let pr = { a; b = Array.make k 0 } in
     List.iter
       (fun av ->
+        for i = 1 to k - 1 do
+          a.(i) <- av
+        done;
         List.iter
           (fun bv ->
-            List.iter
-              (fun (first, last) ->
-                let a =
-                  Array.init (k + 1) (fun i ->
-                      if i = 0 then first else if i = k then last else av)
-                in
-                let pr = { a; b = Array.make k bv } in
-                if is_good p pr then out := pr :: !out)
-              [ (av, av); (0, av); (av, 0); (0, 0) ])
+            Array.fill pr.b 0 k bv;
+            let try_ends first last =
+              a.(0) <- first;
+              a.(k) <- last;
+              if is_good p pr then f pr
+            in
+            try_ends av av;
+            try_ends 0 av;
+            try_ends av 0;
+            try_ends 0 0)
           bs)
       avs
-  done;
-  dedup (List.rev !out)
+  done
+
+let homogeneous p ~a_values ~b_values =
+  let tbl = Hashtbl.create 64 in
+  let out = ref [] in
+  iter_homogeneous p ~a_values ~b_values (fun pr ->
+      if not (Hashtbl.mem tbl pr) then begin
+        let fresh = { a = Array.copy pr.a; b = Array.copy pr.b } in
+        Hashtbl.add tbl fresh ();
+        out := fresh :: !out
+      end);
+  List.rev !out
 
 let sample p rng ~a_values ~b_values ~count =
   let avs = Array.of_list (List.sort_uniq Int.compare (0 :: a_values)) in

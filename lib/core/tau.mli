@@ -72,6 +72,17 @@ val homogeneous : params -> a_values:int list -> b_values:int list -> pair list
     uniform value).  These capture uniform-weight augmentations and the
     repeated-cycle construction of Section 1.1.2. *)
 
+val iter_homogeneous :
+  params -> a_values:int list -> b_values:int list -> (pair -> unit) -> unit
+(** Allocation-free {!homogeneous}: the callback receives each good
+    homogeneous pair in generation order, but through a {e scratch}
+    pair whose arrays are overwritten between calls — copy [a]/[b]
+    before retaining anything.  Equal contents may be presented more
+    than once (end choices coincide when the uniform value is 0, and
+    short shapes repeat across uniform values); deduplication is the
+    caller's concern.  [homogeneous] is this iterator plus copy-on-new
+    dedup. *)
+
 val sample :
   params ->
   Wm_graph.Prng.t ->

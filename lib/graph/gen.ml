@@ -110,6 +110,192 @@ let power_law_bipartite rng ~left ~right ~edges ~exponent ~weights =
   done;
   Weighted_graph.create ~n !acc
 
+(* ------------------------------------------------------------------ *)
+(* Scale tier: streaming generators that materialise n >= 10^6 /
+   m >= 10^7 instances directly into flat endpoint/weight arrays and
+   hand them to the trusted CSR constructor — no intermediate edge
+   lists, no Hashtbl dedup (uniqueness holds by construction, with an
+   epoch-stamped scratch set for the per-vertex target draws). *)
+
+let power_law_scale rng ~n ~attach ~weights =
+  if n < 2 then invalid_arg "Gen.power_law_scale: n < 2";
+  if attach < 1 then invalid_arg "Gen.power_law_scale: attach < 1";
+  let m_cap = attach * n in
+  let src = Array.make m_cap 0 and dst = Array.make m_cap 0 in
+  let w = Array.make m_cap 0 in
+  let m = ref 0 in
+  let seen = Arena.Stamp.create () in
+  (* Preferential attachment: vertex u attaches to min(attach, u)
+     distinct earlier vertices, drawn degree-proportionally by
+     sampling a uniform slot of the endpoint arrays built so far (the
+     standard repeated-endpoint trick — no degree array needed).
+     Duplicate draws for the same u are rejected via the stamp set,
+     falling back to a linear probe so termination never depends on
+     luck.  Right-skewed degrees emerge for any attach >= 1. *)
+  for u = 1 to n - 1 do
+    let k = Stdlib.min attach u in
+    Arena.Stamp.reset seen u;
+    for _ = 1 to k do
+      let pick () =
+        if !m = 0 then Prng.int rng u
+        else begin
+          let slot = Prng.int rng (2 * !m) in
+          let v = if slot land 1 = 0 then src.(slot / 2) else dst.(slot / 2) in
+          if v < u then v else Prng.int rng u
+        end
+      in
+      let rec draw attempts =
+        let v = pick () in
+        if Arena.Stamp.add seen v then v
+        else if attempts >= 16 then begin
+          (* Saturated or unlucky: probe linearly from a random start
+             — u > k-1 guarantees a free earlier vertex exists. *)
+          let start = Prng.int rng u in
+          let rec probe i =
+            let v = (start + i) mod u in
+            if Arena.Stamp.add seen v then v else probe (i + 1)
+          in
+          probe 0
+        end
+        else draw (attempts + 1)
+      in
+      let v = draw 0 in
+      src.(!m) <- u;
+      dst.(!m) <- v;
+      w.(!m) <- draw_weight rng ~n weights;
+      incr m
+    done
+  done;
+  Weighted_graph.of_flat ~n ~m:!m ~src ~dst ~w
+
+let geometric_scale rng ~n ~avg_degree ~weights =
+  if n < 2 then invalid_arg "Gen.geometric_scale: n < 2";
+  if avg_degree <= 0.0 then invalid_arg "Gen.geometric_scale: avg_degree <= 0";
+  (* Random geometric graph on the unit square: connect points within
+     Euclidean distance r, with r chosen so the expected degree
+     (pi r^2 n, ignoring boundary) matches [avg_degree].  Neighbour
+     search uses a cell grid of width >= r: only the 3x3 cell
+     neighbourhood can contain partners, and ordering u < v emits each
+     pair exactly once. *)
+  let r = Float.sqrt (avg_degree /. (Float.pi *. float_of_int n)) in
+  let r = Stdlib.min r 1.0 in
+  let gx = Stdlib.max 1 (int_of_float (1.0 /. r)) in
+  let cells = gx * gx in
+  let px = Array.make n 0.0 and py = Array.make n 0.0 in
+  let cell = Array.make n 0 in
+  let cell_of x y =
+    let ix = Stdlib.min (gx - 1) (int_of_float (x *. float_of_int gx)) in
+    let iy = Stdlib.min (gx - 1) (int_of_float (y *. float_of_int gx)) in
+    (iy * gx) + ix
+  in
+  for v = 0 to n - 1 do
+    px.(v) <- Prng.float rng 1.0;
+    py.(v) <- Prng.float rng 1.0;
+    cell.(v) <- cell_of px.(v) py.(v)
+  done;
+  (* Counting-sort the points into a CSR over cells. *)
+  let off = Array.make (cells + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(cell.(v) + 1) <- off.(cell.(v) + 1) + 1
+  done;
+  for c = 1 to cells do
+    off.(c) <- off.(c) + off.(c - 1)
+  done;
+  let order = Array.make n 0 in
+  let cursor = Array.sub off 0 cells in
+  for v = 0 to n - 1 do
+    order.(cursor.(cell.(v))) <- v;
+    cursor.(cell.(v)) <- cursor.(cell.(v)) + 1
+  done;
+  let src = Arena.Ints.create () and dst = Arena.Ints.create () in
+  let wts = Arena.Ints.create () in
+  let r2 = r *. r in
+  for u = 0 to n - 1 do
+    let cx = cell.(u) mod gx and cy = cell.(u) / gx in
+    for dy = -1 to 1 do
+      for dx = -1 to 1 do
+        let x = cx + dx and y = cy + dy in
+        if x >= 0 && x < gx && y >= 0 && y < gx then begin
+          let c = (y * gx) + x in
+          for i = off.(c) to off.(c + 1) - 1 do
+            let v = order.(i) in
+            if v > u then begin
+              let ddx = px.(u) -. px.(v) and ddy = py.(u) -. py.(v) in
+              if (ddx *. ddx) +. (ddy *. ddy) <= r2 then begin
+                Arena.Ints.push src u;
+                Arena.Ints.push dst v;
+                Arena.Ints.push wts (draw_weight rng ~n weights)
+              end
+            end
+          done
+        end
+      done
+    done
+  done;
+  Weighted_graph.of_flat ~n ~m:(Arena.Ints.length src)
+    ~src:(Arena.Ints.data src) ~dst:(Arena.Ints.data dst)
+    ~w:(Arena.Ints.data wts)
+
+let bipartite_skew_scale rng ~left ~right ~edges ~exponent ~weights =
+  if left < 1 || right < 1 then
+    invalid_arg "Gen.bipartite_skew_scale: empty side";
+  if exponent <= 1.0 then invalid_arg "Gen.bipartite_skew_scale: exponent <= 1";
+  if edges > left * right then
+    invalid_arg "Gen.bipartite_skew_scale: too many edges";
+  let n = left + right in
+  (* Zipf cumulative over the right side, as in power_law_bipartite —
+     but edges stream out grouped by left vertex (degree = an even
+     split of the budget), so cross-vertex duplicates are impossible
+     and the per-vertex stamp set is the only dedup needed. *)
+  let cum = Array.make right 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to right - 1 do
+    total := !total +. (1.0 /. (float_of_int (i + 1) ** exponent));
+    cum.(i) <- !total
+  done;
+  let sample_right () =
+    let x = Prng.float rng !total in
+    let rec bsearch lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if cum.(mid) < x then bsearch (mid + 1) hi else bsearch lo mid
+      end
+    in
+    bsearch 0 (right - 1)
+  in
+  let src = Array.make (Stdlib.max 1 edges) 0 in
+  let dst = Array.make (Stdlib.max 1 edges) 0 in
+  let w = Array.make (Stdlib.max 1 edges) 0 in
+  let m = ref 0 in
+  let seen = Arena.Stamp.create () in
+  for u = 0 to left - 1 do
+    let deg = (edges / left) + (if u < edges mod left then 1 else 0) in
+    let deg = Stdlib.min deg right in
+    Arena.Stamp.reset seen right;
+    for _ = 1 to deg do
+      let rec draw attempts =
+        let v = sample_right () in
+        if Arena.Stamp.add seen v then v
+        else if attempts >= 16 then begin
+          let start = Prng.int rng right in
+          let rec probe i =
+            let v = (start + i) mod right in
+            if Arena.Stamp.add seen v then v else probe (i + 1)
+          in
+          probe 0
+        end
+        else draw (attempts + 1)
+      in
+      let v = draw 0 in
+      src.(!m) <- u;
+      dst.(!m) <- left + v;
+      w.(!m) <- draw_weight rng ~n weights;
+      incr m
+    done
+  done;
+  Weighted_graph.of_flat ~n ~m:!m ~src ~dst ~w
+
 let grid rng ~rows ~cols ~weights =
   let n = rows * cols in
   let id r c = (r * cols) + c in

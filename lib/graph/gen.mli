@@ -47,6 +47,44 @@ val power_law_bipartite :
 val grid : Prng.t -> rows:int -> cols:int -> weights:weight_dist -> Weighted_graph.t
 (** 2D grid graph ([rows*cols] vertices). *)
 
+(** {1 Scale tier}
+
+    Streaming generators for the million-edge performance tier: each
+    materialises its edges directly into flat endpoint/weight arrays
+    and builds the CSR through the trusted
+    {!Weighted_graph.of_flat} constructor — no intermediate edge
+    lists and no Hashtbl dedup passes, so generation is O(m) time and
+    O(m) ints of working set.  Uniqueness of edges holds by
+    construction (per-vertex draws are deduplicated against an
+    epoch-stamped scratch set). *)
+
+val power_law_scale :
+  Prng.t -> n:int -> attach:int -> weights:weight_dist -> Weighted_graph.t
+(** Preferential attachment: vertex [u] attaches to [min attach u]
+    distinct earlier vertices drawn degree-proportionally, yielding a
+    power-law degree tail ([m = attach * n] up to the warm-up).  The
+    general-graph analogue of {!power_law_bipartite} at scale. *)
+
+val geometric_scale :
+  Prng.t -> n:int -> avg_degree:float -> weights:weight_dist -> Weighted_graph.t
+(** Random geometric graph on the unit square: points joined within
+    distance [r], with [r] set so the expected degree is
+    [avg_degree].  Neighbour search is cell-bucketed, so generation is
+    O(n + m) rather than O(n^2). *)
+
+val bipartite_skew_scale :
+  Prng.t ->
+  left:int ->
+  right:int ->
+  edges:int ->
+  exponent:float ->
+  weights:weight_dist ->
+  Weighted_graph.t
+(** Bipartite instance with exactly [edges] edges, an even left-side
+    degree split and Zipf([exponent])-skewed right-side popularity —
+    the assignment-market shape of {!power_law_bipartite}, generated
+    grouped by left vertex so no global dedup is ever needed. *)
+
 (** {1 Structured / adversarial families} *)
 
 val path_graph : int list -> Weighted_graph.t

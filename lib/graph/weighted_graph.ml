@@ -67,6 +67,28 @@ let of_array ~n edges =
   validate n edges;
   unsafe_of_owned_array ~n ~edges
 
+(* Trusted flat constructor: endpoints/weights come as parallel int
+   arrays from a caller that guarantees validity by construction (the
+   layered-graph builder, the scale generators), so the per-edge
+   Hashtbl pass of [validate] is skipped along with any intermediate
+   edge list.  [Edge.make] still normalises endpoint order and rejects
+   self-loops and negative weights per edge. *)
+let of_flat ~n ~m ~src ~dst ~w =
+  if n < 0 then invalid_arg "Weighted_graph.of_flat: negative n";
+  if m < 0 || m > Array.length src || m > Array.length dst
+     || m > Array.length w
+  then invalid_arg "Weighted_graph.of_flat: bad m";
+  let edges = Array.init m (fun i -> Edge.make src.(i) dst.(i) w.(i)) in
+  Array.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      if u < 0 || v >= n then
+        invalid_arg
+          (Printf.sprintf "Weighted_graph.of_flat: edge %s out of range [0,%d)"
+             (Edge.to_string e) n))
+    edges;
+  unsafe_of_owned_array ~n ~edges
+
 let create ~n edges = of_array ~n (Array.of_list edges)
 
 let empty n = of_array ~n [||]

@@ -19,6 +19,18 @@ val create : n:int -> Edge.t list -> t
 val of_array : n:int -> Edge.t array -> t
 (** As {!create} from an array (the array is copied). *)
 
+val of_flat :
+  n:int -> m:int -> src:int array -> dst:int array -> w:int array -> t
+(** [of_flat ~n ~m ~src ~dst ~w] builds the graph whose [i]-th edge
+    ([i < m]) joins [src.(i)] and [dst.(i)] with weight [w.(i)],
+    reading only the first [m] slots (the arrays may be larger reusable
+    arenas; they are not retained).  {b Trusted}: the caller promises
+    there are no parallel edges — the Hashtbl duplicate check of
+    {!of_array} is skipped, which is what makes per-τ-pair layered
+    builds and the million-edge generators allocation-lean.  Endpoint
+    range, self-loops and negative weights are still rejected.  Edge
+    order (hence CSR slice order) follows slot order. *)
+
 val empty : int -> t
 (** [empty n] is the edgeless graph on [n] vertices. *)
 

@@ -5,10 +5,21 @@ type thresholds = {
   space : float;
   counter : float;
   min_counter_base : int;
+  gc : float;
 }
 
 let default_thresholds =
-  { ns = 0.5; space = 0.1; counter = 0.5; min_counter_base = 16 }
+  { ns = 0.5; space = 0.1; counter = 0.5; min_counter_base = 16; gc = 1.0 }
+
+(* GC-block fields the gate compares.  Deliberately the allocation
+   tallies only: collection counts and heap peaks depend on per-domain
+   minor-heap sizing and so legitimately differ across --jobs settings,
+   which the fault-stress j1-vs-j4 diff leg would then trip on. *)
+let gc_metrics = [ "minor_words"; "major_words"; "minor_words_per_round" ]
+
+(* Word tallies below this are measurement noise (a single quick_stat
+   pair costs a few hundred words); skip them. *)
+let min_gc_base = 65536
 
 type verdict = Ok | Regression | Improvement
 
@@ -68,6 +79,17 @@ let obs_counters json =
 let is_space_counter name =
   String.length name >= 6 && String.sub name 0 6 = "space."
 
+let gc_fields json =
+  match J.member "gc" json with
+  | Some g ->
+      List.filter_map
+        (fun k ->
+          match J.member k g with
+          | Some (J.Int n) -> Some (k, n)
+          | _ -> None)
+        gc_metrics
+  | None -> []
+
 let compare_reports ?(thresholds = default_thresholds) ~base cand =
   match (check_schema "base" base, check_schema "candidate" cand) with
   | Stdlib.Error e, _ | _, Stdlib.Error e -> Stdlib.Error e
@@ -102,8 +124,24 @@ let compare_reports ?(thresholds = default_thresholds) ~base cand =
               | None -> None)
           counters_base
       in
+      let gc_base = gc_fields base in
+      let gc_cand = gc_fields cand in
+      let gc_findings =
+        List.filter_map
+          (fun (name, b) ->
+            if b < min_gc_base then None
+            else
+              match List.assoc_opt name gc_cand with
+              | Some c ->
+                  Some
+                    (finding ~threshold:thresholds.gc ("gc:" ^ name)
+                       (float_of_int b) (float_of_int c))
+              | None -> None)
+          gc_base
+      in
       Stdlib.Ok
-        (micro_findings @ counter_findings true @ counter_findings false)
+        (micro_findings @ counter_findings true @ counter_findings false
+        @ gc_findings)
 
 let has_regression = List.exists (fun f -> f.verdict = Regression)
 

@@ -26,6 +26,16 @@ type thresholds = {
       (** counters with a baseline below this are skipped — tiny
           counts flip on legitimate changes (default 16; space
           counters are always compared) *)
+  gc : float;
+      (** max tolerated relative increase of the report's ["gc"]-block
+          allocation tallies ([minor_words], [major_words],
+          [minor_words_per_round]; default 1.0, i.e. 2x — program-wide
+          quick_stat deltas carry a few percent of scheduling noise,
+          and the fault-stress leg diffs reports taken at different
+          [--jobs] settings).  Collection counts and heap peaks are
+          reported but never gated: they depend on per-domain
+          minor-heap sizing.  Tallies below 65536 words are skipped as
+          measurement noise. *)
 }
 
 val default_thresholds : thresholds
@@ -47,9 +57,10 @@ val compare_reports :
   Wm_obs.Json.t ->
   (finding list, string) result
 (** [compare_reports ~base cand] — all shared metrics, in report order (micro benches, then space
-    counters, then other counters).  Metrics present in only one report
-    are skipped — the gate compares what both runs measured.  [Error]
-    when either document is not a BENCH_v1 report. *)
+    counters, then other counters, then gc-block tallies).  Metrics
+    present in only one report are skipped — the gate compares what
+    both runs measured.  [Error] when either document is not a
+    BENCH_v1 report. *)
 
 val has_regression : finding list -> bool
 

@@ -1241,6 +1241,99 @@ let run_t10 ~quick ~seed =
         independent cold solve (%d/%d certified)"
        !certified steps_n)
 
+(* ------------------------------------------------------------------ *)
+(* T11: the million-edge scale tier — generation + solve wall-clock,
+   allocation and peak space for the streaming-generator families. *)
+
+let run_t11 ~quick ~seed =
+  R.section ~id:"T11" ~title:"million-edge scale tier (generate + rand-arr)"
+    ~claim:
+      "the flat-array generators materialise n = 10^6 / m = 10^7 instances \
+       straight into CSR with no intermediate edge lists, and the arena \
+       round kernels keep a full rand-arr solve tractable at that size";
+  R.table_header
+    [
+      "family"; "n"; "m"; "gen-ms"; "gen-Mw"; "solve-ms"; "solve-Mw";
+      "peak-Mw"; "weight";
+    ];
+  let sizes = if quick then [ 10_000 ] else [ 10_000; 100_000; 1_000_000 ] in
+  let mwords w = float_of_int w /. 1e6 in
+  List.iter
+    (fun n ->
+      (* Per-family size ceiling: bip-skew's Zipf hubs make the
+         greedy+swaps exact stand-in in rand-arr's M1 step quadratic
+         (~300 s at n = 10^5 on the reference host, hours at 10^6), so
+         that family stops a decade early — a documented cap, not a
+         silent one (see the note below). *)
+      let families =
+        [
+          ( "power-law",
+            max_int,
+            fun rng ->
+              Gen.power_law_scale rng ~n ~attach:10
+                ~weights:(Gen.Geometric_classes 8) );
+          ( "geometric",
+            max_int,
+            fun rng ->
+              Gen.geometric_scale rng ~n ~avg_degree:12.0
+                ~weights:(Gen.Uniform (1, 100)) );
+          ( "bip-skew",
+            100_000,
+            fun rng ->
+              Gen.bipartite_skew_scale rng ~left:(n / 2) ~right:(n / 2)
+                ~edges:(8 * n) ~exponent:1.5
+                ~weights:(Gen.Uniform (1, 100)) );
+        ]
+      in
+      List.iter
+        (fun (tag, max_n, generate) ->
+          if n > max_n then ()
+          else
+          let rng = P.create (seed + n) in
+          let gc0 = Wm_obs.Gcstat.snapshot () in
+          let t0 = Wm_obs.Obs.now_ns () in
+          let g = generate rng in
+          let gen_ms = float_of_int (Wm_obs.Obs.now_ns () - t0) /. 1e6 in
+          let gc1 = Wm_obs.Gcstat.snapshot () in
+          let stream = ES.of_graph g in
+          let t1 = Wm_obs.Obs.now_ns () in
+          let m =
+            Wm_core.Random_arrival.solve ~rng:(P.create (seed + n + 7)) stream
+          in
+          let solve_ms = float_of_int (Wm_obs.Obs.now_ns () - t1) /. 1e6 in
+          let gc2 = Wm_obs.Gcstat.snapshot () in
+          let d_gen = Wm_obs.Gcstat.delta ~before:gc0 gc1 in
+          let d_solve = Wm_obs.Gcstat.delta ~before:gc1 gc2 in
+          Wm_obs.Ledger.record ~label:tag Wm_obs.Ledger.default
+            ~section:"scale"
+            [
+              ("n", G.n g);
+              ("m", G.m g);
+              ("gen_minor_words", d_gen.Wm_obs.Gcstat.minor_words);
+              ("solve_minor_words", d_solve.Wm_obs.Gcstat.minor_words);
+              ("top_heap_words", gc2.Wm_obs.Gcstat.top_heap_words);
+            ];
+          R.row
+            [
+              tag; R.cell_i (G.n g); R.cell_i (G.m g); R.cell_f gen_ms;
+              R.cell_f (mwords d_gen.Wm_obs.Gcstat.minor_words);
+              R.cell_f solve_ms;
+              R.cell_f (mwords d_solve.Wm_obs.Gcstat.minor_words);
+              R.cell_f (mwords gc2.Wm_obs.Gcstat.top_heap_words);
+              R.cell_i (M.weight m);
+            ])
+        families)
+    sizes;
+  R.note
+    "gen-Mw / solve-Mw are program-wide minor-allocation deltas in millions \
+     of words, peak-Mw the process top-heap watermark; generation stays \
+     O(m) ints of working set (no per-edge boxing).  Solve cost is not \
+     monotone in n: at small n the exact matcher on the retained prefix \
+     set dominates, while at n = 10^6 the stream passes do.  bip-skew \
+     stops at n = 10^5: its Zipf hubs make the greedy+swaps matcher on \
+     the retained set quadratic, which is a property of the exact \
+     stand-in, not of the generator or the arena kernels"
+
 let all =
   [
     { id = "T1"; title = "weighted random-arrival streaming";
@@ -1268,6 +1361,11 @@ let all =
                mutations/sec of the re-load + cold-solve baseline with \
                Certify-validated matchings";
       run = run_t10 };
+    { id = "T11"; title = "million-edge scale tier (generate + rand-arr)";
+      claim = "flat-array generation and arena kernels make n = 10^6 / \
+               m = 10^7 instances tractable, with wall-clock, allocation \
+               and peak space recorded";
+      run = run_t11 };
     { id = "F1"; title = "memory vs n"; claim = "Lemmas 3.3/3.15"; run = run_f1 };
     { id = "F2"; title = "ratio vs augmentation length"; claim = "Fact 1.3";
       run = run_f2 };

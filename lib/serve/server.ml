@@ -846,6 +846,9 @@ let report_json t =
       ("micro", J.List []);
       ("serve", serve);
       ("obs", obs_json);
+      ( "gc",
+        Wm_obs.Gcstat.block_json ~ledger:Ledger.default
+          (Wm_obs.Gcstat.since_start ()) );
       ("histograms", histograms);
       ("ledger", Ledger.to_json Ledger.default);
       ("faults", Recovery.report_json ());

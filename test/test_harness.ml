@@ -19,8 +19,8 @@ let test_find_case_insensitive () =
 let test_expected_ids_present () =
   List.iter
     (fun id -> check_bool id true (Ex.find id <> None))
-    [ "T1"; "T2"; "T3"; "T4"; "T5"; "T6"; "F1"; "F2"; "F3"; "F4"; "F5"; "F6";
-      "A1"; "A2" ]
+    [ "T1"; "T2"; "T3"; "T4"; "T5"; "T6"; "T11"; "F1"; "F2"; "F3"; "F4";
+      "F5"; "F6"; "A1"; "A2" ]
 
 let test_claims_nonempty () =
   List.iter

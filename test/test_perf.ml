@@ -1,0 +1,349 @@
+(* Performance-contract tests for the allocation-free kernels:
+   Arena.Stamp / Arena.Ints semantics, minor-word budgets for the hot
+   iterators (Weighted_graph.iter_neighbors, Tau.iter_homogeneous, the
+   cached Layered fill), the canonical equal-gain tie-break, the stable
+   weight-ordered stream arrangement, and the scale-tier generators.
+
+   The budget tests measure [Gc.minor_words] deltas (domain-local, so
+   they are exact for single-domain code) after a warm-up call that
+   pays one-time costs: slot initialisation, arena growth, CSR
+   indexing.  Budgets are loose by an order of magnitude against the
+   arena implementations, and tight by orders of magnitude against the
+   list/Hashtbl implementations they replaced — they catch
+   reintroduced per-element allocation, not codegen noise. *)
+
+module E = Wm_graph.Edge
+module G = Wm_graph.Weighted_graph
+module M = Wm_graph.Matching
+module P = Wm_graph.Prng
+module Gen = Wm_graph.Gen
+module Arena = Wm_graph.Arena
+module ES = Wm_stream.Edge_stream
+module A = Wm_core.Aug
+module Tau = Wm_core.Tau
+module Layered = Wm_core.Layered
+module AC = Wm_core.Aug_class
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Minor words allocated by [f ()], as an int. *)
+let words f =
+  let a = Gc.minor_words () in
+  f ();
+  int_of_float (Gc.minor_words () -. a)
+
+(* ------------------------------------------------------------------ *)
+(* Arena primitives *)
+
+let test_stamp () =
+  let s = Arena.Stamp.create () in
+  Arena.Stamp.reset s 10;
+  check_bool "empty after reset" false (Arena.Stamp.mem s 3);
+  Arena.Stamp.mark s 3;
+  check_bool "marked" true (Arena.Stamp.mem s 3);
+  check_bool "others untouched" false (Arena.Stamp.mem s 4);
+  check_bool "add new" true (Arena.Stamp.add s 4);
+  check_bool "add seen" false (Arena.Stamp.add s 4);
+  (* A reset is a fresh epoch: old marks are invisible without any
+     clearing pass. *)
+  Arena.Stamp.reset s 10;
+  check_bool "reset forgets" false (Arena.Stamp.mem s 3);
+  (* Growing the universe preserves the fresh-epoch contract. *)
+  Arena.Stamp.reset s 1000;
+  check_bool "grown empty" false (Arena.Stamp.mem s 999);
+  Arena.Stamp.mark s 999;
+  check_bool "grown mark" true (Arena.Stamp.mem s 999)
+
+let test_stamp_reset_allocation_free () =
+  let s = Arena.Stamp.create () in
+  Arena.Stamp.reset s 4096;
+  (* warm: backing array now sized *)
+  let w =
+    words (fun () ->
+        for _ = 1 to 1000 do
+          Arena.Stamp.reset s 4096;
+          Arena.Stamp.mark s 7
+        done)
+  in
+  (* A bool-array replacement would clear or allocate 4096 slots per
+     reset; the epoch bump must stay O(1) and allocation-free. *)
+  check_bool (Printf.sprintf "1000 resets cost %d words" w) true (w < 256)
+
+let test_ints () =
+  let v = Arena.Ints.create () in
+  check "fresh length" 0 (Arena.Ints.length v);
+  for i = 0 to 99 do
+    Arena.Ints.push v (i * i)
+  done;
+  check "length" 100 (Arena.Ints.length v);
+  check "get" (49 * 49) (Arena.Ints.get v 49);
+  let d = Arena.Ints.data v in
+  check "data prefix" (99 * 99) d.(99);
+  Arena.Ints.clear v;
+  check "cleared" 0 (Arena.Ints.length v);
+  Arena.Ints.push v 5;
+  check "reuse after clear" 5 (Arena.Ints.get v 0)
+
+let test_ints_push_allocation_free () =
+  let v = Arena.Ints.create () in
+  for i = 0 to 9999 do
+    Arena.Ints.push v i
+  done;
+  (* warm: capacity grown *)
+  Arena.Ints.clear v;
+  let w =
+    words (fun () ->
+        for i = 0 to 9999 do
+          Arena.Ints.push v i
+        done)
+  in
+  (* A list accumulator costs 3 words per element (30k words here). *)
+  check_bool (Printf.sprintf "10k pushes cost %d words" w) true (w < 256)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation budgets for the hot iterators *)
+
+let test_iter_neighbors_budget () =
+  let g = Gen.gnp (P.create 11) ~n:400 ~p:0.02 ~weights:(Gen.Uniform (1, 100)) in
+  let acc = ref 0 in
+  let visit _ e = acc := !acc + E.weight e in
+  let sweep () =
+    for v = 0 to G.n g - 1 do
+      G.iter_neighbors g v visit
+    done
+  in
+  sweep ();
+  (* warm: CSR adjacency index built *)
+  let w = words sweep in
+  check_bool
+    (Printf.sprintf "sweep of %d edges cost %d words" (G.m g) w)
+    true (w < 256);
+  check_bool "visited both directions" true (!acc >= 2 * G.m g)
+
+let test_iter_homogeneous_budget () =
+  let tp = Tau.make_params ~granularity:(1.0 /. 32.0) ~max_layers:9 ~slack:0.0 in
+  let a_values = [ 3; 5; 9 ] and b_values = [ 4; 8 ] in
+  let emitted = ref 0 in
+  let reprs = ref [] in
+  let visit pr =
+    incr emitted;
+    if not (List.exists (fun p -> p == pr) !reprs) then reprs := pr :: !reprs
+  in
+  let run () = Tau.iter_homogeneous tp ~a_values ~b_values visit in
+  run ();
+  (* warm *)
+  emitted := 0;
+  reprs := [];
+  let w = words run in
+  check_bool "enumerates a real pair space" true (!emitted > 50);
+  (* The contract is per-emission reuse: every pair of a given length is
+     the same physical scratch record, so the emission count never
+     shows up in the allocation profile.  (An absolute budget on the
+     whole call would mostly measure [is_good]'s arithmetic on
+     rejected candidates, which both implementations pay.) *)
+  check_bool
+    (Printf.sprintf "%d emissions share %d scratch records" !emitted
+       (List.length !reprs))
+    true
+    (* at most one scratch per admissible length k <= max_layers *)
+    (List.length !reprs <= 9);
+  check_bool (Printf.sprintf "call cost %d words" w) true (w < 8192)
+
+(* The cached Layered fill: with a prepared pair-invariant cache, a
+   build that retains no Y edge must allocate only the scratch-growth
+   warm-up — the steady state is allocation-free. *)
+let test_layered_trivial_build_budget () =
+  let g, m = Gen.paper_fig1 () in
+  let side = [| false; false; true; false; false; true |] in
+  let gp = Layered.parametrize_with ~side g m in
+  let tp = Tau.make_params ~granularity:0.125 ~max_layers:5 ~slack:0.0 in
+  let scale = 8.0 in
+  let cache = Layered.prepare tp gp ~scale in
+  let granule = 0.125 *. scale in
+  let mid = Tau.bucket_up ~granule 5 in
+  (* b-bucket 31 matches no edge weight, so every Y edge is filtered
+     and the build short-circuits to Trivial. *)
+  let pair = { Tau.a = [| 0; mid; 0 |]; b = [| 31; 31 |] } in
+  let run () =
+    match Layered.build_opt ~cache tp gp pair ~scale with
+    | Layered.Trivial _ -> ()
+    | Layered.Graph _ -> Alcotest.fail "expected a trivial build"
+  in
+  run ();
+  (* warm: per-domain scratch slot initialised *)
+  let w = words (fun () -> for _ = 1 to 100 do run () done) in
+  check_bool (Printf.sprintf "100 trivial builds cost %d words" w) true
+    (w < 2048)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical tie-breaking *)
+
+let test_canonical_key_path_reversal () =
+  let p1 = A.Path [ E.make 0 1 5; E.make 1 2 3 ] in
+  let p2 = A.Path [ E.make 1 2 3; E.make 0 1 5 ] in
+  check_bool "reversed presentation, same key" true
+    (A.canonical_key p1 = A.canonical_key p2);
+  let q = A.Path [ E.make 2 3 5 ] in
+  check_bool "distinct paths, distinct keys" true
+    (A.canonical_key p1 <> A.canonical_key q)
+
+let test_canonical_key_cycle_rotation () =
+  let e01 = E.make 0 1 2
+  and e12 = E.make 1 2 7
+  and e23 = E.make 2 3 2
+  and e30 = E.make 3 0 7 in
+  let c1 = A.Cycle [ e01; e12; e23; e30 ] in
+  let c2 = A.Cycle [ e12; e23; e30; e01 ] in
+  let c3 = A.Cycle [ e30; e23; e12; e01 ] in
+  check_bool "rotated, same key" true (A.canonical_key c1 = A.canonical_key c2);
+  check_bool "reversed orientation, same key" true
+    (A.canonical_key c1 = A.canonical_key c3)
+
+(* Equal-gain one-augmentations must come out in canonical-key order
+   regardless of the instance's edge presentation: the gain sort alone
+   left the order to the enumeration, which made transcripts depend on
+   graph construction order. *)
+let test_one_augmentations_tie_break () =
+  let edges_fwd = [ E.make 0 1 5; E.make 2 3 5 ] in
+  let edges_rev = [ E.make 2 3 5; E.make 0 1 5 ] in
+  let first_edge g =
+    match AC.one_augmentations g (M.create 4) with
+    | A.Path [ e ] :: _ -> e
+    | _ -> Alcotest.fail "expected single-edge path augmentations"
+  in
+  let e1 = first_edge (G.create ~n:4 edges_fwd) in
+  let e2 = first_edge (G.create ~n:4 edges_rev) in
+  check_bool "presentation-independent winner" true (E.equal e1 e2);
+  (* And the winner is the canonically least walk, 0-1. *)
+  check_bool "canonical winner" true (E.equal e1 (E.make 0 1 5))
+
+(* ------------------------------------------------------------------ *)
+(* Stable weight-ordered arrangement (the radix sort) *)
+
+let collect stream =
+  let out = ref [] in
+  ES.iter stream (fun e -> out := e :: !out);
+  List.rev !out
+
+let test_arrange_matches_stable_sort () =
+  (* Few distinct weights force heavy ties, so stability is load-bearing
+     in the expected sequence. *)
+  let g = Gen.gnp (P.create 3) ~n:120 ~p:0.05 ~weights:(Gen.Uniform (1, 4)) in
+  let given = collect (ES.of_graph g) in
+  let incr_got = collect (ES.of_graph ~order:ES.Increasing_weight g) in
+  let decr_got = collect (ES.of_graph ~order:ES.Decreasing_weight g) in
+  let by f = List.stable_sort (fun a b -> Stdlib.compare (f a) (f b)) given in
+  check_bool "nontrivial instance" true (List.length given > 200);
+  check_bool "increasing = stable sort" true
+    (List.equal E.equal incr_got (by E.weight));
+  check_bool "decreasing = stable reverse sort" true
+    (List.equal E.equal decr_got (by (fun e -> -E.weight e)))
+
+(* ------------------------------------------------------------------ *)
+(* Scale-tier generator validity *)
+
+let check_simple_graph ?bip_left g =
+  let n = G.n g in
+  let seen = Hashtbl.create (G.m g) in
+  G.iter_edges
+    (fun e ->
+      let u, v = E.endpoints e in
+      check_bool "endpoint range" true (u >= 0 && u < n && v >= 0 && v < n);
+      check_bool "no self-loop" true (u <> v);
+      check_bool "positive weight" true (E.weight e >= 1);
+      let key = (Stdlib.min u v * n) + Stdlib.max u v in
+      check_bool "no duplicate edge" false (Hashtbl.mem seen key);
+      Hashtbl.replace seen key ();
+      match bip_left with
+      | None -> ()
+      | Some left ->
+          check_bool "crosses the bipartition" true
+            ((u < left) <> (v < left)))
+    g;
+  check "edge count consistent" (G.m g) (Hashtbl.length seen)
+
+let test_power_law_scale_valid () =
+  let g =
+    Gen.power_law_scale (P.create 7) ~n:2000 ~attach:6
+      ~weights:(Gen.Geometric_classes 8)
+  in
+  check "vertex count" 2000 (G.n g);
+  check_bool "roughly attach*n edges" true (G.m g > 5 * 2000 && G.m g <= 6 * 2000);
+  check_simple_graph g
+
+let test_geometric_scale_valid () =
+  let g =
+    Gen.geometric_scale (P.create 8) ~n:2000 ~avg_degree:10.0
+      ~weights:(Gen.Uniform (1, 100))
+  in
+  check "vertex count" 2000 (G.n g);
+  (* Expected degree 10 with Poisson-like spread. *)
+  let avg = 2.0 *. float_of_int (G.m g) /. 2000.0 in
+  check_bool (Printf.sprintf "average degree %.1f near 10" avg) true
+    (avg > 5.0 && avg < 20.0);
+  check_simple_graph g
+
+let test_bipartite_skew_scale_valid () =
+  let g =
+    Gen.bipartite_skew_scale (P.create 9) ~left:1000 ~right:1000 ~edges:8000
+      ~exponent:1.5
+      ~weights:(Gen.Uniform (1, 50))
+  in
+  check "vertex count" 2000 (G.n g);
+  check "exact edge count" 8000 (G.m g);
+  check_simple_graph ~bip_left:1000 g
+
+(* Scale generators must be a pure function of the seed — the T11 rows
+   and the @scale-smoke fixtures rely on it. *)
+let test_scale_generators_deterministic () =
+  let dig () =
+    Wm_graph.Graph_io.digest
+      (Gen.power_law_scale (P.create 21) ~n:1000 ~attach:5
+         ~weights:(Gen.Uniform (1, 9)))
+  in
+  Alcotest.(check string) "same seed, same graph" (dig ()) (dig ())
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "arena",
+        [
+          Alcotest.test_case "stamp semantics" `Quick test_stamp;
+          Alcotest.test_case "stamp reset is O(1)" `Quick
+            test_stamp_reset_allocation_free;
+          Alcotest.test_case "ints semantics" `Quick test_ints;
+          Alcotest.test_case "ints push allocation-free" `Quick
+            test_ints_push_allocation_free;
+        ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "iter_neighbors" `Quick test_iter_neighbors_budget;
+          Alcotest.test_case "tau iterator" `Quick test_iter_homogeneous_budget;
+          Alcotest.test_case "layered trivial build" `Quick
+            test_layered_trivial_build_budget;
+        ] );
+      ( "tie-break",
+        [
+          Alcotest.test_case "path key reversal-invariant" `Quick
+            test_canonical_key_path_reversal;
+          Alcotest.test_case "cycle key rotation-invariant" `Quick
+            test_canonical_key_cycle_rotation;
+          Alcotest.test_case "one_augmentations canonical order" `Quick
+            test_one_augmentations_tie_break;
+        ] );
+      ( "arrange",
+        [
+          Alcotest.test_case "radix = stable sort" `Quick
+            test_arrange_matches_stable_sort;
+        ] );
+      ( "scale-gen",
+        [
+          Alcotest.test_case "power-law valid" `Quick test_power_law_scale_valid;
+          Alcotest.test_case "geometric valid" `Quick test_geometric_scale_valid;
+          Alcotest.test_case "bip-skew valid" `Quick
+            test_bipartite_skew_scale_valid;
+          Alcotest.test_case "seed-deterministic" `Quick
+            test_scale_generators_deterministic;
+        ] );
+    ]
