@@ -299,6 +299,20 @@ let () =
           | _ -> fail "%s: faults block lacks \"%s\" object" path part)
         [ "injected"; "recovery" ])
   | None -> fail "%s: missing \"faults\" block" path);
+  (* Durability summary: present even when no run used --wal-dir
+     (all-zero tallies); every key a non-negative int. *)
+  (match J.member "durability" json with
+  | Some d ->
+      List.iter
+        (fun k ->
+          match J.member k d with
+          | Some (J.Int n) when n >= 0 -> ()
+          | _ -> fail "%s: durability.%s is not a non-negative int" path k)
+        [
+          "wal_records"; "wal_bytes"; "wal_replayed"; "wal_truncated_bytes";
+          "snapshots"; "snapshot_restores"; "checkpoints"; "restores";
+        ]
+  | None -> fail "%s: missing \"durability\" block" path);
   (* Trace metadata: present even when tracing was off. *)
   (match J.member "trace_meta" json with
   | Some meta -> (

@@ -193,6 +193,7 @@ let write_report ~path ~quick ~seed ~jobs ~trace_path ~sections ~micro ~gc =
         ("histograms", histograms);
         ("ledger", Wm_obs.Ledger.to_json Wm_obs.Ledger.default);
         ("faults", Wm_fault.Recovery.report_json ());
+        ("durability", Wm_fault.Recovery.durability_json ());
         ("trace_meta", trace_meta);
       ]
   in

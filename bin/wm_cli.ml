@@ -386,7 +386,8 @@ let run_experiments ids quick seed jobs faults =
 (* The serving loop: line-delimited WM_REQ_v1 on stdin, WM_RESP_v1 on
    stdout.  See lib/serve and DESIGN.md §5.3. *)
 
-let run_serve jobs queue_depth cache_entries deadline_ms no_warm report faults =
+let run_serve jobs queue_depth cache_entries deadline_ms no_warm report faults
+    wal_dir snapshot_every crash_after =
   if queue_depth < 1 then begin
     Printf.eprintf "wm_cli: --queue-depth must be at least 1\n";
     exit_usage
@@ -397,6 +398,15 @@ let run_serve jobs queue_depth cache_entries deadline_ms no_warm report faults =
   end
   else if deadline_ms < 0 then begin
     Printf.eprintf "wm_cli: --deadline-ms must be non-negative\n";
+    exit_usage
+  end
+  else if snapshot_every < 0 then begin
+    Printf.eprintf "wm_cli: --snapshot-every must be non-negative\n";
+    exit_usage
+  end
+  else if wal_dir = None && (snapshot_every <> 8 || crash_after <> None) then begin
+    Printf.eprintf
+      "wm_cli: --snapshot-every/--crash-after require --wal-dir\n";
     exit_usage
   end
   else
@@ -410,6 +420,9 @@ let run_serve jobs queue_depth cache_entries deadline_ms no_warm report faults =
         faults = Wm_fault.Spec.default ();
         destroy_pool_on_shutdown = true;
         warm_start = not no_warm;
+        wal_dir;
+        snapshot_every;
+        crash_after;
       }
     in
     let server = Wm_serve.Server.create config in
@@ -424,6 +437,48 @@ let run_serve jobs queue_depth cache_entries deadline_ms no_warm report faults =
             Wm_obs.Json.to_channel oc (Wm_serve.Server.report_json server);
             output_char oc '\n'));
     0
+
+(* Restore from a durability directory without serving: print a
+   WM_RECOVER_v1 summary of what a restart would resume from. *)
+let run_recover wal_dir jobs faults =
+  with_faults faults @@ fun () ->
+  set_jobs jobs;
+  let config =
+    { (Wm_serve.Server.default_config ()) with wal_dir = Some wal_dir }
+  in
+  let server = Wm_serve.Server.create config in
+  let r =
+    match Wm_serve.Server.recovery server with
+    | Some r -> r
+    | None -> assert false
+  in
+  let sessions =
+    List.map
+      (fun (digest, n, m) ->
+        Wm_obs.Json.Obj
+          [
+            ("digest", Wm_obs.Json.Str digest);
+            ("n", Wm_obs.Json.Int n);
+            ("m", Wm_obs.Json.Int m);
+          ])
+      (Wm_serve.Server.sessions server)
+  in
+  let json =
+    Wm_obs.Json.Obj
+      [
+        ("schema", Wm_obs.Json.Str "WM_RECOVER_v1");
+        ("replayed", Wm_obs.Json.Int r.Wm_serve.Server.replayed);
+        ( "truncated_bytes",
+          Wm_obs.Json.Int r.Wm_serve.Server.truncated_bytes );
+        ( "snapshots_restored",
+          Wm_obs.Json.Int r.Wm_serve.Server.snapshots_restored );
+        ("restore_ms", Wm_obs.Json.Int r.Wm_serve.Server.restore_ms);
+        ("sessions", Wm_obs.Json.List sessions);
+        ("stopped", Wm_obs.Json.Bool (Wm_serve.Server.stopped server));
+      ]
+  in
+  print_endline (Wm_obs.Json.to_string json);
+  0
 
 let run_list () =
   List.iter
@@ -622,6 +677,37 @@ let serve_cmd =
              $(b,serve)) with the serve.* counters, latency histograms \
              and request ledger to $(docv).")
   in
+  let wal_dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durability directory.  Every state-mutating request line is \
+             appended to a CRC-checked, fsynced write-ahead log before \
+             its responses are emitted, and sessions are snapshotted \
+             periodically; starting with the same $(docv) restores the \
+             previous incarnation byte-identically and resumes.")
+  in
+  let snapshot_every_t =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "With $(b,--wal-dir): write session snapshots every $(docv) \
+             WAL records (0 = only on shutdown/drain/EOF).")
+  in
+  let crash_after_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-after" ] ~docv:"N"
+          ~doc:
+            "Testing hook for the crash-recovery fixtures: SIGKILL the \
+             process immediately after emitting the responses of the \
+             $(docv)-th input line.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -636,7 +722,27 @@ let serve_cmd =
           byte-identical at any $(b,--jobs).")
     Term.(
       const run_serve $ jobs_t $ queue_depth_t $ cache_entries_t
-      $ deadline_ms_t $ no_warm_t $ report_t $ faults_t)
+      $ deadline_ms_t $ no_warm_t $ report_t $ faults_t $ wal_dir_t
+      $ snapshot_every_t $ crash_after_t)
+
+let recover_cmd =
+  let wal_dir_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "wal-dir" ] ~docv:"DIR"
+          ~doc:"The durability directory to restore from.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Restore a serve session from its durability directory without \
+          serving: load the newest valid snapshots, replay the \
+          write-ahead log suffix (truncating any torn tail), and print a \
+          WM_RECOVER_v1 JSON summary — replayed records, truncated \
+          bytes, snapshots restored, restore time, and the recovered \
+          sessions.")
+    Term.(const run_recover $ wal_dir_t $ jobs_t $ faults_t)
 
 let version_string = "wm_cli 1.0.0"
 
@@ -668,6 +774,8 @@ let help_cmd =
               "  experiment  regenerate the paper's tables and figures";
               "  list        list available experiments";
               "  serve       run the batched matching service on stdin/stdout";
+              "  recover     restore a serve session from its durability \
+               directory";
               "  version     print the version line";
             ];
           print_endline "";
@@ -681,7 +789,7 @@ let main_cmd =
        ~doc:"Weighted matchings via unweighted augmentations (PODC 2019)")
     [
       solve_cmd; stats_cmd; trace_cmd; gen_cmd; experiment_cmd; list_cmd;
-      serve_cmd; version_cmd; help_cmd;
+      serve_cmd; recover_cmd; version_cmd; help_cmd;
     ]
 
 (* Cmdliner reports its own parse errors (unknown flags, bad enum

@@ -79,6 +79,26 @@ let check_resolve ~tolerance g ~warm ~cold =
   in
   { valid; warm_weight; cold_weight; within }
 
+type recovery_check = {
+  identical : bool;
+  compared : int;
+  divergence : (int * string * string) option;
+}
+
+let check_recovery ~control ~recovered =
+  let compared =
+    Stdlib.max (List.length control) (List.length recovered)
+  in
+  let rec go i c r =
+    match (c, r) with
+    | [], [] -> None
+    | x :: c', y :: r' -> if x = y then go (i + 1) c' r' else Some (i, x, y)
+    | x :: _, [] -> Some (i, x, "")
+    | [], y :: _ -> Some (i, "", y)
+  in
+  let divergence = go 0 control recovered in
+  { identical = divergence = None; compared; divergence }
+
 let witness tp ~class_ratio g m aug =
   let n = G.n g in
   if not (Aug.is_wellformed aug && Aug.is_alternating aug m) then None

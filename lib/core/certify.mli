@@ -33,6 +33,24 @@ val check_resolve :
     [tolerance] is outside [0, 1).  Used by experiment T10 and the
     serve tests. *)
 
+type recovery_check = {
+  identical : bool;
+  compared : int;  (** lines compared (the longer side's length) *)
+  divergence : (int * string * string) option;
+      (** first differing line as [(index, control, recovered)]; a
+          missing line on either side appears as [""] *)
+}
+
+val check_recovery :
+  control:string list -> recovered:string list -> recovery_check
+(** Certify a crash-recovery run: [control] is the transcript of an
+    unkilled server over the full request stream, [recovered] the
+    concatenation of the killed server's output with the restarted
+    server's output over the remaining lines.  Durable sessions are
+    byte-identical — any divergence (content or length) is returned as
+    the first offending line pair.  Pure line comparison; no tolerance,
+    no normalisation. *)
+
 type witness = {
   side : bool array;  (** the deterministic bipartition (true = L) *)
   pair : Tau.pair;

@@ -30,6 +30,11 @@ let none = create Spec.none
 let spec t = t.spec
 let is_active t = t.rng <> None
 
+let rng_state t = Option.map P.state t.rng
+
+let set_rng_state t s =
+  match t.rng with None -> () | Some rng -> P.set_state rng s
+
 let has_record_faults t =
   is_active t
   && t.spec.Spec.drop +. t.spec.Spec.dup +. t.spec.Spec.corrupt > 0.0

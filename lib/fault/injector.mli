@@ -45,6 +45,17 @@ val is_active : t -> bool
 (** [false] exactly when the spec is inert; inactive injectors answer
     every query without drawing randomness or recording anything. *)
 
+val rng_state : t -> int64 option
+(** The injector's current generator position ([None] for inert
+    injectors).  The serving layer's write-ahead log persists it so a
+    recovered server continues the {e same} draw sequence the crashed
+    process would have produced — chaos decisions survive process
+    death. *)
+
+val set_rng_state : t -> int64 -> unit
+(** Restore a position captured with {!rng_state}.  A no-op on inert
+    injectors. *)
+
 val has_record_faults : t -> bool
 (** Active and at least one of drop/dup/corrupt is nonzero — gates the
     per-record tampering loop so fault-free streams pay nothing. *)

@@ -11,6 +11,17 @@ let c_shed_edges = Obs.counter Obs.default "fault.shed_edges"
 let c_shed_weight = Obs.counter Obs.default "fault.shed_weight"
 let c_budget_exhausted = Obs.counter Obs.default "fault.budget_exhausted"
 
+(* Durability accounting (the serving layer's WAL/snapshot subsystem).
+   These live here — not in wm_serve — so that both the bench harness
+   and the server report the same process-wide tallies, and so that
+   bench/diff.exe's obs-counter comparison gates them automatically. *)
+let c_wal_records = Obs.counter Obs.default "fault.wal_records"
+let c_wal_bytes = Obs.counter Obs.default "fault.wal_bytes"
+let c_wal_replayed = Obs.counter Obs.default "fault.wal_replayed"
+let c_wal_truncated = Obs.counter Obs.default "fault.wal_truncated_bytes"
+let c_snapshots = Obs.counter Obs.default "fault.snapshots"
+let c_snapshot_restores = Obs.counter Obs.default "fault.snapshot_restores"
+
 let with_retry ~attempts ~site ~on_retry f =
   let rec go attempt =
     match f () with
@@ -50,6 +61,39 @@ let note_shed ~edges ~weight ~at =
   Obs.add c_shed_weight weight;
   Ledger.record ~label:"shed" Ledger.default ~section
     [ ("at", at); ("edges", edges); ("weight", weight) ]
+
+let note_wal_append ~bytes =
+  Obs.incr c_wal_records;
+  Obs.add c_wal_bytes bytes
+
+let note_wal_replay ~records = Obs.add c_wal_replayed records
+
+let note_wal_truncated ~bytes =
+  Obs.add c_wal_truncated bytes;
+  Ledger.record ~label:"wal_truncated" Ledger.default ~section
+    [ ("bytes", bytes) ]
+
+let note_snapshot ~bytes ~at =
+  Obs.incr c_snapshots;
+  note_checkpoint ~words:(bytes / 8) ~at
+
+let note_snapshot_restore ~bytes ~at =
+  Obs.incr c_snapshot_restores;
+  note_restore ~words:(bytes / 8) ~at
+
+let durability_json () =
+  let v c = J.Int (Obs.value c) in
+  J.Obj
+    [
+      ("wal_records", v c_wal_records);
+      ("wal_bytes", v c_wal_bytes);
+      ("wal_replayed", v c_wal_replayed);
+      ("wal_truncated_bytes", v c_wal_truncated);
+      ("snapshots", v c_snapshots);
+      ("snapshot_restores", v c_snapshot_restores);
+      ("checkpoints", v c_checkpoints);
+      ("restores", v c_restores);
+    ]
 
 let recovery_json () =
   let v c = J.Int (Obs.value c) in

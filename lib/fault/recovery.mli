@@ -30,6 +30,36 @@ val note_shed : edges:int -> weight:int -> at:int -> unit
 (** Record a graceful-degradation shed: [edges] matched edges totalling
     [weight] dropped under injected memory pressure. *)
 
+(** {1 Durability accounting}
+
+    Real restore accounting for the serving layer's write-ahead log and
+    snapshot subsystem (DESIGN.md §5.5).  Counters are process-wide
+    [fault.wal_*] / [fault.snapshot*] instruments, so they appear in
+    every report's obs block and are gated by [bench/diff.exe] like any
+    other counter. *)
+
+val note_wal_append : bytes:int -> unit
+(** One WAL record of [bytes] bytes appended (and fsynced). *)
+
+val note_wal_replay : records:int -> unit
+(** [records] WAL records replayed during a restore. *)
+
+val note_wal_truncated : bytes:int -> unit
+(** A torn or corrupt WAL tail of [bytes] bytes was truncated. *)
+
+val note_snapshot : bytes:int -> at:int -> unit
+(** One session snapshot of [bytes] bytes written atomically; also
+    counts as a {!note_checkpoint}. *)
+
+val note_snapshot_restore : bytes:int -> at:int -> unit
+(** One session restored from a snapshot; also counts as a
+    {!note_restore}. *)
+
+val durability_json : unit -> Wm_obs.Json.t
+(** The BENCH_v1 [durability] block: WAL records/bytes appended,
+    records replayed, bytes truncated, snapshots written/restored, and
+    the underlying checkpoint/restore tallies. *)
+
 val recovery_json : unit -> Wm_obs.Json.t
 (** Snapshot of the process-wide recovery counters ([fault.retries],
     [fault.backoff_rounds], [fault.checkpoints], [fault.restores],

@@ -40,3 +40,26 @@ val read_file : string -> Weighted_graph.t
 val matching_to_string : Matching.t -> string
 
 val matching_of_string : string -> Matching.t
+
+(** {1 Binary codec}
+
+    Compact binary frames for durable state (the serving layer's
+    snapshots and write-ahead log).  Graph frames embed the content
+    digest; {!of_binary} recomputes it from the decoded structure and
+    raises {!Parse_error} (line 0) on any mismatch, so a corrupted
+    snapshot is detected rather than restored. *)
+
+val to_binary : Weighted_graph.t -> string
+(** ["WMB1"]-tagged LEB128 frame: n, m, the edges in stored order, and
+    the 16-hex-digit {!digest} as a trailer. *)
+
+val of_binary : string -> Weighted_graph.t
+(** Decode and verify a {!to_binary} frame.  Raises {!Parse_error}
+    (with [line = 0]) on truncation, malformed structure, or a digest
+    that does not match the decoded content. *)
+
+val matching_to_binary : Matching.t -> string
+
+val matching_of_binary : string -> Matching.t
+(** Raises {!Parse_error} (line 0) on a malformed frame or an edge set
+    that is not a matching. *)

@@ -78,3 +78,7 @@ let sample_without_replacement t k n =
 let exponential t lambda =
   let u = Stdlib.max 1e-300 (float t 1.0) in
   -.Float.log u /. lambda
+
+let state t = t.state
+
+let set_state t s = t.state <- s

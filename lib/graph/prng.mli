@@ -57,3 +57,12 @@ val sample_without_replacement : t -> int -> int -> int array
 
 val exponential : t -> float -> float
 (** [exponential t lambda] samples an exponential with rate [lambda]. *)
+
+val state : t -> int64
+(** The raw 64-bit splitmix state, for durable checkpoints (the serving
+    layer's write-ahead log persists injector positions with it).
+    Opaque outside {!set_state}. *)
+
+val set_state : t -> int64 -> unit
+(** [set_state t s] rewinds/advances [t] to a state previously captured
+    with {!state}; the stream continues exactly from that position. *)

@@ -1334,6 +1334,170 @@ let run_t11 ~quick ~seed =
      the retained set quadratic, which is a property of the exact \
      stand-in, not of the generator or the arena kernels"
 
+(* ------------------------------------------------------------------ *)
+(* T12: durable sessions — kill mid-stream, restore, byte-identical.
+   The kill is simulated in-process: the first server's WAL appends are
+   already fsynced when it is abandoned without eof/drain, which is
+   exactly the disk state a SIGKILL leaves behind (the @crash-smoke
+   bench alias runs the same experiment through a real SIGKILL). *)
+
+let run_t12 ~quick ~seed =
+  R.section ~id:"T12" ~title:"durable sessions: kill mid-stream and recover"
+    ~claim:
+      "with a write-ahead log (fsynced before responses) and periodic \
+       snapshots, a server killed mid-stream restores from the newest \
+       snapshots plus the WAL suffix, and the concatenation of its \
+       pre-kill output with the restarted server's output is \
+       byte-identical to an unkilled control at any --jobs setting";
+  let module Srv = Wm_serve.Server in
+  let module J = Wm_obs.Json in
+  let n = if quick then 32 else 64 in
+  let grng = P.create (seed + n) in
+  let mk p =
+    Gen.random_bipartite grng ~left:(n / 2) ~right:(n / 2)
+      ~p:(p /. float_of_int n)
+      ~weights:(Gen.Uniform (1, 50))
+  in
+  let g1 = mk 10.0 in
+  let g2 = mk 8.0 in
+  let d1 = Wm_graph.Graph_io.digest g1 in
+  (* The mutated session's digest, computed offline so the post-kill
+     requests can address it explicitly.  (0, 1) is within the left
+     side of the bipartition, so the edge is guaranteed fresh. *)
+  let d1' =
+    Wm_graph.Graph_io.digest
+      (G.patch g1 ~add:[ E.make 0 1 97 ] ~remove:[] ())
+  in
+  let line fields =
+    J.to_string (J.Obj (("schema", J.Str "WM_REQ_v1") :: fields))
+  in
+  let solve ?digest id =
+    line
+      ([
+         ("id", J.Int id);
+         ("verb", J.Str "solve");
+         ("algo", J.Str "streaming");
+         ("seed", J.Int (seed + 3));
+       ]
+      @ match digest with None -> [] | Some d -> [ ("digest", J.Str d) ])
+  in
+  let lines =
+    [
+      line
+        [
+          ("id", J.Int 1); ("verb", J.Str "load");
+          ("graph", J.Str (Wm_graph.Graph_io.to_string g1));
+        ];
+      line
+        [
+          ("id", J.Int 2); ("verb", J.Str "load");
+          ("graph", J.Str (Wm_graph.Graph_io.to_string g2));
+        ];
+      solve ~digest:d1 3;
+      solve 4;
+      line [ ("id", J.Int 5); ("verb", J.Str "stats") ];
+      line
+        [
+          ("id", J.Int 6); ("verb", J.Str "add_edges");
+          ("digest", J.Str d1);
+          ("edges", J.List [ J.List [ J.Int 0; J.Int 1; J.Int 97 ] ]);
+        ];
+      solve ~digest:d1' 7;
+      line [ ("id", J.Int 8); ("verb", J.Str "stats") ];
+      line [ ("id", J.Int 9); ("verb", J.Str "shutdown") ];
+    ]
+  in
+  (* Kill after the mutation — a durable (logged) line, so the restart
+     resumes at the next line.  Lines 3/4 exercise the other case: a
+     queued-but-unflushed solve is volatile by design and would simply
+     be re-fed (see DESIGN.md §5.5). *)
+  let kill_at = 6 in
+  let feed server ls =
+    List.concat_map
+      (fun l -> List.map J.to_string (Srv.handle_line server l))
+      ls
+  in
+  let fresh_dir tag =
+    let f = Filename.temp_file ("wm_t12_" ^ tag ^ "_") "" in
+    Sys.remove f;
+    Sys.mkdir f 0o755;
+    f
+  in
+  let wal_config dir =
+    {
+      (Srv.default_config ()) with
+      faults = Wm_fault.Spec.none;
+      wal_dir = Some dir;
+      snapshot_every = 2;
+    }
+  in
+  let run_leg ~jobs =
+    Wm_par.Pool.set_default_jobs jobs;
+    let control_srv =
+      Srv.create { (Srv.default_config ()) with faults = Wm_fault.Spec.none }
+    in
+    let control = feed control_srv lines in
+    let dir = fresh_dir (string_of_int jobs) in
+    let pre_lines = List.filteri (fun i _ -> i < kill_at) lines in
+    let post_lines = List.filteri (fun i _ -> i >= kill_at) lines in
+    let a = Srv.create (wal_config dir) in
+    let pre = feed a pre_lines in
+    (* Abandon [a] without eof/drain: its appends are already on disk,
+       which is the SIGKILL disk state. *)
+    let b = Srv.create (wal_config dir) in
+    let r = Option.get (Srv.recovery b) in
+    let post = feed b post_lines in
+    let chk =
+      Wm_core.Certify.check_recovery ~control ~recovered:(pre @ post)
+    in
+    (control, r, chk)
+  in
+  R.table_header
+    [
+      "jobs"; "lines"; "kill-at"; "replayed"; "truncated-B"; "snap-restored";
+      "restore-ms"; "identical";
+    ];
+  let saved_jobs = Wm_par.Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Wm_par.Pool.set_default_jobs saved_jobs)
+    (fun () ->
+      let results = List.map (fun jobs -> (jobs, run_leg ~jobs)) [ 1; 4 ] in
+      let base_control =
+        match results with (_, (c, _, _)) :: _ -> c | [] -> []
+      in
+      List.iter
+        (fun (jobs, (control, r, chk)) ->
+          let identical =
+            chk.Wm_core.Certify.identical && control = base_control
+          in
+          (match chk.Wm_core.Certify.divergence with
+          | Some (i, c, rv) when not identical ->
+              R.note
+                (Printf.sprintf
+                   "jobs=%d diverged at line %d:\n  control:   %s\n  \
+                    recovered: %s"
+                   jobs i c rv)
+          | _ -> ());
+          R.row
+            [
+              R.cell_i jobs;
+              R.cell_i (List.length lines);
+              R.cell_i kill_at;
+              R.cell_i r.Srv.replayed;
+              R.cell_i r.Srv.truncated_bytes;
+              R.cell_i r.Srv.snapshots_restored;
+              R.cell_i r.Srv.restore_ms;
+              R.cell_s (if identical then "yes" else "no");
+            ])
+        results);
+  R.note
+    "identical = yes pins Certify.check_recovery on the full transcript \
+     (solve results, cache hit/miss flags, stats counter blocks, session \
+     digests and generations) plus cross-jobs equality of the control \
+     leg; replayed counts WAL records re-applied on restore and \
+     snap-restored the sessions installed from snapshot files rather \
+     than full replay; restore-ms is the only wall-clock column"
+
 let all =
   [
     { id = "T1"; title = "weighted random-arrival streaming";
@@ -1366,6 +1530,11 @@ let all =
                m = 10^7 instances tractable, with wall-clock, allocation \
                and peak space recorded";
       run = run_t11 };
+    { id = "T12"; title = "durable sessions: kill mid-stream and recover";
+      claim = "a WAL-backed server killed mid-stream restores from \
+               snapshots plus WAL replay and its transcript is \
+               byte-identical to an unkilled control at any --jobs";
+      run = run_t12 };
     { id = "F1"; title = "memory vs n"; claim = "Lemmas 3.3/3.15"; run = run_f1 };
     { id = "F2"; title = "ratio vs augmentation length"; claim = "Fact 1.3";
       run = run_f2 };

@@ -16,6 +16,9 @@ type config = {
   faults : Spec.t;
   destroy_pool_on_shutdown : bool;
   warm_start : bool;
+  wal_dir : string option;
+  snapshot_every : int;
+  crash_after : int option;
 }
 
 let default_config () =
@@ -26,7 +29,17 @@ let default_config () =
     faults = Spec.default ();
     destroy_pool_on_shutdown = false;
     warm_start = true;
+    wal_dir = None;
+    snapshot_every = 8;
+    crash_after = None;
   }
+
+type recovery = {
+  replayed : int;
+  truncated_bytes : int;
+  snapshots_restored : int;
+  restore_ms : int;
+}
 
 (* serve.* instruments (DESIGN.md §4.2).  Counters are process-wide:
    several servers in one process share them, so tests read deltas. *)
@@ -51,6 +64,20 @@ let c_warm = Obs.counter Obs.default "serve.warm_solves"
 let h_latency = Obs.histogram Obs.default "serve.latency_ns"
 let h_batch = Obs.histogram Obs.default "serve.batch_size"
 
+(* The fixed counter vector persisted in every WAL record header.  The
+   order is part of the on-disk format — append only.  Values are
+   logged (and reported) relative to a per-server baseline captured at
+   creation, so a restored server reproduces the crashed server's
+   tallies byte-identically even though the underlying instruments are
+   process-wide (and possibly shared with other servers, as in the
+   in-process recovery experiment). *)
+let counter_vec =
+  [|
+    c_requests; c_loads; c_solves; c_hits; c_misses; c_overloaded; c_shed;
+    c_deadline; c_retries; c_errors; c_batches; c_evicts; c_shutdowns;
+    c_mutations; c_edges_added; c_edges_removed; c_vertices_added; c_warm;
+  |]
+
 (* One admitted solve.  Chaos decisions (injected crash count, injected
    deadline-expiry round) are pre-drawn sequentially at admission time on
    the request-loop domain, so executing the job on any pool domain
@@ -61,6 +88,9 @@ let h_batch = Obs.histogram Obs.default "serve.batch_size"
    re-keying); [warm] maps canonical solve params to the last completed
    matching, the warm-start point for incremental re-solves. *)
 type session = {
+  origin : int;
+      (** the LSN of the session's first load — its stable durable
+          identity across digest re-keying ([reqno] when no WAL) *)
   mutable graph : G.t;
   mutable digest : string;
   mutable generation : int;  (** mutations applied since load *)
@@ -94,7 +124,268 @@ type t = {
   mutable reqno : int;
   mutable batchno : int;
   mutable stopped : bool;
+  base : int array;  (** per-server baseline for {!counter_vec} *)
+  mutable wal : Wal.t option;
+  mutable pending : Wal.body list;  (** this line's bodies, reversed *)
+  mutable volatile_line : bool;
+      (** the line in flight is a successful solve admission — queue
+          contents are volatile by design, so it logs nothing and the
+          WAL head stays at the last line whose effects are durable
+          (the restart re-feeds and re-admits from there, replaying the
+          same injector draws) *)
+  mutable logged_hdr : Wal.header option;  (** last header appended *)
+  mutable last_snap_lsn : int;
+  mutable recovery : recovery option;
 }
+
+(* Counter value relative to this server's creation baseline (or the
+   baseline reconstructed from the WAL on restore). *)
+let rel t c =
+  let v = ref (Obs.value c) in
+  Array.iteri
+    (fun i c' -> if c' == c then v := Obs.value c - t.base.(i))
+    counter_vec;
+  !v
+
+let counter_vector t =
+  Array.mapi (fun i c -> Obs.value c - t.base.(i)) counter_vec
+
+let current_header t =
+  {
+    Wal.reqno = t.reqno;
+    batchno = t.batchno;
+    rng = Injector.rng_state t.inj;
+    counters = counter_vector t;
+  }
+
+let logging t = t.wal <> None
+let note t body = if logging t then t.pending <- body :: t.pending
+
+let stopped t = t.stopped
+let recovery t = t.recovery
+
+(* ------------------------------------------------------------------ *)
+(* Durability: WAL commit, snapshots, restore (DESIGN.md §5.5) *)
+
+let write_snapshots t =
+  match (t.wal, t.config.wal_dir) with
+  | Some w, Some dir ->
+      let lsn = Wal.head w in
+      List.iter
+        (fun d ->
+          let s = Hashtbl.find t.sessions d in
+          let warm =
+            Hashtbl.fold (fun k m acc -> (k, m) :: acc) s.warm []
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          ignore
+            (Snapshot.write ~dir
+               {
+                 Snapshot.origin = s.origin;
+                 lsn;
+                 digest = d;
+                 generation = s.generation;
+                 graph = s.graph;
+                 warm;
+               }))
+        t.order;
+      t.last_snap_lsn <- lsn
+  | _ -> ()
+
+(* End-of-line commit: append (and fsync) one record carrying this
+   line's state effects and the end-of-line header.  Called before the
+   line's responses are emitted, so an acknowledged effect is always
+   recoverable.  Lines that changed nothing (a blank line over an empty
+   queue, say) append nothing. *)
+let commit t =
+  let volatile = t.volatile_line in
+  t.volatile_line <- false;
+  match t.wal with
+  | None -> t.pending <- []
+  | Some _ when volatile -> t.pending <- []
+  | Some w ->
+      let bodies = List.rev t.pending in
+      t.pending <- [];
+      let hdr = current_header t in
+      if bodies <> [] || t.logged_hdr <> Some hdr then begin
+        let lsn = Wal.append w { Wal.header = hdr; bodies } in
+        t.logged_hdr <- Some hdr;
+        if
+          List.mem Wal.Stop bodies
+          || t.config.snapshot_every > 0
+             && lsn - t.last_snap_lsn >= t.config.snapshot_every
+        then write_snapshots t
+      end
+
+(* Replay one WAL body against the restoring server.  [skip] maps a
+   session origin to the LSN of its installed snapshot: records at or
+   before that LSN are already reflected in the snapshot's {e content}
+   (graph, generation, warm), so only their {e bookkeeping} — the
+   digest re-keys that keep [t.sessions]/[t.order]/[t.last] tracking
+   the live history, which later records' digest references resolve
+   against — is re-applied.  Cache effects always replay in full: the
+   cache is global, never snapshotted, and its LRU/eviction state is a
+   pure function of the logged touch/insert sequence. *)
+let replay_body t ~lsn ~head ~snaps ~seen ~skip ~restored body =
+  let in_skip s =
+    match Hashtbl.find_opt skip s.origin with
+    | Some sl -> lsn <= sl
+    | None -> false
+  in
+  match body with
+  | Wal.Load { origin; digest; graph } ->
+      if Hashtbl.mem seen origin then
+        (* Re-load of live content: [digest] is the session's current
+           key at this point of the history; only [last] moves. *)
+        t.last <- Some digest
+      else begin
+        Hashtbl.replace seen origin ();
+        let session =
+          match Hashtbl.find_opt snaps origin with
+          | Some (s, bytes) when s.Snapshot.lsn >= lsn && s.Snapshot.lsn <= head
+            ->
+              (* Install the snapshot's content under the {e historical}
+                 digest; bookkeeping replay walks the key along the live
+                 re-keying path, and content and key re-converge exactly
+                 at the snapshot LSN, where the skip window closes. *)
+              Hashtbl.replace skip origin s.Snapshot.lsn;
+              incr restored;
+              Recovery.note_snapshot_restore ~bytes ~at:s.Snapshot.lsn;
+              let warm = Hashtbl.create 4 in
+              List.iter (fun (k, m) -> Hashtbl.replace warm k m)
+                s.Snapshot.warm;
+              {
+                origin;
+                graph = s.Snapshot.graph;
+                digest;
+                generation = s.Snapshot.generation;
+                warm;
+              }
+          | _ ->
+              {
+                origin;
+                graph = Wm_graph.Graph_io.of_binary graph;
+                digest;
+                generation = 0;
+                warm = Hashtbl.create 4;
+              }
+        in
+        t.order <- t.order @ [ digest ];
+        Hashtbl.replace t.sessions digest session;
+        t.last <- Some digest
+      end
+  | Wal.Mutate { old_digest; new_digest; subsumed; add_vertices; add; remove }
+    -> (
+      match Hashtbl.find_opt t.sessions old_digest with
+      | None -> failwith "wal replay: mutate of unknown session"
+      | Some s ->
+          let skipping = in_skip s in
+          Hashtbl.remove t.sessions old_digest;
+          Hashtbl.replace t.sessions new_digest s;
+          t.order <-
+            (if subsumed then List.filter (fun x -> x <> old_digest) t.order
+             else
+               List.map
+                 (fun x -> if x = old_digest then new_digest else x)
+                 t.order);
+          if t.last = Some old_digest then t.last <- Some new_digest;
+          s.digest <- new_digest;
+          if not skipping then begin
+            let add_edges =
+              List.map (fun (u, v, w) -> Wm_graph.Edge.make u v w) add
+            in
+            let g' = G.patch s.graph ~add_vertices ~add:add_edges ~remove () in
+            if Wm_graph.Graph_io.digest g' <> new_digest then
+              failwith "wal replay: mutate digest mismatch";
+            s.graph <- g';
+            s.generation <- s.generation + 1
+          end)
+  | Wal.Evict { digest = None } ->
+      Hashtbl.reset t.sessions;
+      t.order <- [];
+      t.last <- None;
+      Cache.clear t.cache
+  | Wal.Evict { digest = Some d } ->
+      Hashtbl.remove t.sessions d;
+      t.order <- List.filter (fun x -> x <> d) t.order;
+      (if t.last = Some d then
+         t.last <-
+           (match List.rev t.order with [] -> None | x :: _ -> Some x));
+      ignore
+        (Cache.remove_where t.cache (fun k ->
+             String.starts_with ~prefix:(d ^ "|") k))
+  | Wal.Flush { touches; inserts; warm } ->
+      List.iter (fun k -> ignore (Cache.find t.cache k)) touches;
+      List.iter
+        (fun (k, v) ->
+          match J.of_string v with
+          | Ok j -> Cache.add t.cache k j
+          | Error _ -> failwith "wal replay: bad cached result")
+        inserts;
+      List.iter
+        (fun (d, params, mbin) ->
+          match Hashtbl.find_opt t.sessions d with
+          | None -> failwith "wal replay: warm entry for unknown session"
+          | Some s ->
+              if not (in_skip s) then
+                Hashtbl.replace s.warm params
+                  (Wm_graph.Graph_io.matching_of_binary mbin))
+        warm
+  | Wal.Stop -> t.stopped <- true
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let restore t dir =
+  mkdir_p dir;
+  let t0 = Obs.now_ns () in
+  let snaps = Hashtbl.create 8 in
+  List.iter
+    (fun (s, bytes) -> Hashtbl.replace snaps s.Snapshot.origin (s, bytes))
+    (Snapshot.load_all ~dir);
+  let records, truncated_bytes = Wal.scan ~dir in
+  let head = List.length records in
+  let seen = Hashtbl.create 8 in
+  let skip = Hashtbl.create 8 in
+  let restored = ref 0 in
+  let last_hdr = ref None in
+  List.iteri
+    (fun i { Wal.header; bodies } ->
+      let lsn = i + 1 in
+      last_hdr := Some header;
+      List.iter (replay_body t ~lsn ~head ~snaps ~seen ~skip ~restored) bodies)
+    records;
+  (match !last_hdr with
+  | None -> ()
+  | Some h ->
+      t.reqno <- h.Wal.reqno;
+      t.batchno <- h.Wal.batchno;
+      (match h.Wal.rng with
+      | Some v -> Injector.set_rng_state t.inj v
+      | None -> ());
+      (* Rewrite the baseline — never the process-wide counters — so
+         this server's relative tallies resume exactly where the
+         crashed server's left off. *)
+      Array.iteri
+        (fun i c ->
+          if i < Array.length h.Wal.counters then
+            t.base.(i) <- Obs.value c - h.Wal.counters.(i))
+        counter_vec);
+  if head > 0 then Recovery.note_wal_replay ~records:head;
+  t.wal <- Some (Wal.open_log ~dir ~head);
+  t.last_snap_lsn <- Hashtbl.fold (fun _ l acc -> Stdlib.max l acc) skip 0;
+  t.recovery <-
+    Some
+      {
+        replayed = head;
+        truncated_bytes;
+        snapshots_restored = !restored;
+        restore_ms = (Obs.now_ns () - t0) / 1_000_000;
+      }
 
 let create config =
   let t =
@@ -110,14 +401,21 @@ let create config =
       reqno = 0;
       batchno = 0;
       stopped = false;
+      base = Array.map Obs.value counter_vec;
+      wal = None;
+      pending = [];
+      volatile_line = false;
+      logged_hdr = None;
+      last_snap_lsn = 0;
+      recovery = None;
     }
   in
+  (match config.wal_dir with None -> () | Some dir -> restore t dir);
+  t.logged_hdr <- Some (current_header t);
   Obs.gauge Obs.default "serve.queue_depth" (fun () -> t.queue_len);
   Obs.gauge Obs.default "serve.sessions" (fun () -> Hashtbl.length t.sessions);
   Obs.gauge Obs.default "serve.cache.entries" (fun () -> Cache.length t.cache);
   t
-
-let stopped t = t.stopped
 
 let sessions t =
   List.map
@@ -286,6 +584,19 @@ let flush t =
     (* Cache lookups in arrival order: the recency bumps are part of the
        deterministic LRU state. *)
     let looked = List.map (fun q -> (q, Cache.find t.cache q.key)) batch in
+    (* WAL capture: hits are recency touches, and the inserts/warm
+       updates below are appended as they happen — together they replay
+       to the exact post-batch cache and warm-start state without
+       re-running any solve. *)
+    let touches =
+      if logging t then
+        List.filter_map
+          (fun (q, hit) -> if hit <> None then Some q.key else None)
+          looked
+      else []
+    in
+    let w_inserts = ref [] in
+    let w_warm = ref [] in
     (* Deduplicate misses by result key — compatible requests are the
        batch scheduler's unit of work; one job per distinct key, in
        first-arrival order. *)
@@ -321,13 +632,27 @@ let flush t =
         match Hashtbl.find_opt by_key q.key with
         | Some (`Ok (result, m)) ->
             Cache.add t.cache q.key result;
+            if logging t then
+              w_inserts := (q.key, J.to_string result) :: !w_inserts;
             if t.config.warm_start && q.params.Protocol.algo <> Protocol.Greedy
-            then
-              Hashtbl.replace q.session.warm
-                (Protocol.canonical_params q.params)
-                m
+            then begin
+              let canon = Protocol.canonical_params q.params in
+              Hashtbl.replace q.session.warm canon m;
+              if logging t then
+                w_warm :=
+                  (q.digest, canon, Wm_graph.Graph_io.matching_to_binary m)
+                  :: !w_warm
+            end
         | Some (`Deadline _) | Some (`Error _) | None -> ())
       jobs;
+    (if logging t && (touches <> [] || !w_inserts <> [] || !w_warm <> []) then
+       note t
+         (Wal.Flush
+            {
+              touches;
+              inserts = List.rev !w_inserts;
+              warm = List.rev !w_warm;
+            }));
     Ledger.record Ledger.default ~section:"serve.batches"
       [
         ("batch", t.batchno);
@@ -475,6 +800,7 @@ let admit t ~id ~(digest : string option) (params : Protocol.solve_params) =
               }
               :: t.queue;
             t.queue_len <- t.queue_len + 1;
+            t.volatile_line <- true;
             []
           end)
 
@@ -501,11 +827,31 @@ let load t ~id ~graph ~path =
          session object — including its warm matchings, which are valid
          for identical content by construction. *)
       if not (Hashtbl.mem t.sessions d) then begin
+        (* One WAL record per input line, so a fresh session's origin is
+           the LSN this line's record is about to take. *)
+        let origin =
+          match t.wal with Some w -> Wal.head w + 1 | None -> t.reqno
+        in
         t.order <- t.order @ [ d ];
         Hashtbl.replace t.sessions d
-          { graph = g; digest = d; generation = 0; warm = Hashtbl.create 4 }
+          {
+            origin;
+            graph = g;
+            digest = d;
+            generation = 0;
+            warm = Hashtbl.create 4;
+          }
       end;
       t.last <- Some d;
+      (if logging t then
+         let s = Hashtbl.find t.sessions d in
+         note t
+           (Wal.Load
+              {
+                origin = s.origin;
+                digest = d;
+                graph = Wm_graph.Graph_io.to_binary g;
+              }));
       finish ~status:"ok"
         (Protocol.response ~id ~status:"ok"
            [
@@ -570,6 +916,16 @@ let mutate t ~id ~digest ~add_vertices ~add ~remove =
               s.graph <- g';
               s.digest <- d';
               s.generation <- s.generation + 1;
+              note t
+                (Wal.Mutate
+                   {
+                     old_digest = d;
+                     new_digest = d';
+                     subsumed = collided;
+                     add_vertices;
+                     add;
+                     remove;
+                   });
               Obs.incr c_mutations;
               Obs.add c_edges_added (List.length add);
               Obs.add c_edges_removed (List.length remove);
@@ -623,8 +979,8 @@ let stats_response t ~id =
           [
             ("entries", J.Int (Cache.length t.cache));
             ("capacity", J.Int (Cache.capacity t.cache));
-            ("hits", J.Int (Obs.value c_hits));
-            ("misses", J.Int (Obs.value c_misses));
+            ("hits", J.Int (rel t c_hits));
+            ("misses", J.Int (rel t c_misses));
             ("evictions", J.Int (Cache.evictions t.cache));
           ] );
       ("requests", J.Int t.reqno);
@@ -633,7 +989,7 @@ let stats_response t ~id =
       ( "counters",
         J.Obj
           (List.map
-             (fun (k, c) -> (k, J.Int (Obs.value c)))
+             (fun (k, c) -> (k, J.Int (rel t c)))
              [
                ("loads", c_loads);
                ("solves", c_solves);
@@ -655,6 +1011,7 @@ let evict t ~id ~digest =
       t.order <- [];
       t.last <- None;
       Cache.clear t.cache;
+      note t (Wal.Evict { digest = None });
       Obs.incr c_evicts;
       ledger_row t ~label:"evict" ~id ~cached:false ~status:"ok" ~latency_ns:0;
       Protocol.response ~id ~status:"ok"
@@ -679,6 +1036,7 @@ let evict t ~id ~digest =
             Cache.remove_where t.cache (fun k ->
                 String.starts_with ~prefix:(d ^ "|") k)
           in
+          note t (Wal.Evict { digest = Some d });
           Obs.incr c_evicts;
           ledger_row t ~label:"evict" ~id ~cached:false ~status:"ok"
             ~latency_ns:0;
@@ -688,7 +1046,7 @@ let evict t ~id ~digest =
 (* ------------------------------------------------------------------ *)
 (* Request dispatch *)
 
-let handle_request t (req : Protocol.request) =
+let dispatch t (req : Protocol.request) =
   t.reqno <- t.reqno + 1;
   Obs.incr c_requests;
   if t.stopped then begin
@@ -736,6 +1094,7 @@ let handle_request t (req : Protocol.request) =
     | Protocol.Shutdown ->
         let flushed = flush t in
         t.stopped <- true;
+        note t Wal.Stop;
         Obs.incr c_shutdowns;
         ledger_row t ~label:"shutdown" ~id:req.Protocol.id ~cached:false
           ~status:"ok" ~latency_ns:0;
@@ -747,8 +1106,21 @@ let handle_request t (req : Protocol.request) =
           Wm_par.Pool.destroy (Wm_par.Pool.default ());
         flushed @ [ resp ]
 
+(* Every public entry point commits the line's WAL record before
+   returning its responses: an effect the client can observe is durable
+   first (the inverse — durable but unacknowledged — is re-executed
+   harmlessly on replay, since replay never re-runs solves). *)
+let handle_request t (req : Protocol.request) =
+  let resps = dispatch t req in
+  commit t;
+  resps
+
 let handle_line t line =
-  if String.trim line = "" then flush t
+  if String.trim line = "" then begin
+    let resps = flush t in
+    commit t;
+    resps
+  end
   else
     match Protocol.parse_request line with
     | Ok req -> handle_request t req
@@ -758,9 +1130,22 @@ let handle_line t line =
         Obs.incr c_errors;
         ledger_row t ~label:"malformed" ~id:0 ~cached:false ~status:"error"
           ~latency_ns:0;
+        commit t;
         [ Protocol.error_response ~id:0 msg ]
 
-let eof t = flush t
+let eof t =
+  let resps = flush t in
+  commit t;
+  (* Final snapshot on an orderly exit (EOF or a drain signal): the
+     next start restores without replaying anything. *)
+  (match t.wal with
+  | Some w when Wal.head w > t.last_snap_lsn -> write_snapshots t
+  | _ -> ());
+  resps
+
+let drain = eof
+
+exception Drained
 
 let run t ic oc =
   let emit resps =
@@ -771,16 +1156,43 @@ let run t ic oc =
       resps;
     Stdlib.flush oc
   in
-  let rec loop () =
-    if t.stopped then ()
-    else
-      match input_line ic with
-      | line ->
-          emit (handle_line t line);
-          loop ()
-      | exception End_of_file -> emit (eof t)
+  (* SIGTERM/SIGINT drain: the handler raises out of the blocking read;
+     the queue is flushed (queued solves run and are answered), the WAL
+     committed, and a final snapshot written before returning. *)
+  let handler = Sys.Signal_handle (fun _ -> raise Drained) in
+  let install s =
+    try Some (Sys.signal s handler)
+    with Invalid_argument _ | Sys_error _ -> None
   in
-  loop ()
+  let old_term = install Sys.sigterm in
+  let old_int = install Sys.sigint in
+  let restore_signals () =
+    (match old_term with
+    | Some b -> Sys.set_signal Sys.sigterm b
+    | None -> ());
+    match old_int with Some b -> Sys.set_signal Sys.sigint b | None -> ()
+  in
+  Fun.protect ~finally:restore_signals (fun () ->
+      let lines = ref 0 in
+      let rec loop () =
+        if t.stopped then ()
+        else
+          match input_line ic with
+          | line ->
+              emit (handle_line t line);
+              incr lines;
+              (* Deterministic crash injection for the recovery fixture:
+                 the record is durable (committed in handle_line), the
+                 responses are out — die without any cleanup. *)
+              (match t.config.crash_after with
+              | Some n when !lines >= n ->
+                  Unix.kill (Unix.getpid ()) Sys.sigkill
+              | _ -> ());
+              loop ()
+          | exception End_of_file -> emit (eof t)
+          | exception Drained -> emit (drain t)
+      in
+      loop ())
 
 (* ------------------------------------------------------------------ *)
 (* Reporting *)
@@ -800,7 +1212,7 @@ let report_json t =
         ( "counters",
           J.Obj
             (List.map
-               (fun (k, c) -> (k, J.Int (Obs.value c)))
+               (fun (k, c) -> (k, J.Int (rel t c)))
                [
                  ("requests", c_requests);
                  ("loads", c_loads);
@@ -817,7 +1229,7 @@ let report_json t =
         ( "incremental",
           J.Obj
             (List.map
-               (fun (k, c) -> (k, J.Int (Obs.value c)))
+               (fun (k, c) -> (k, J.Int (rel t c)))
                [
                  ("mutations", c_mutations);
                  ("edges_added", c_edges_added);
@@ -830,10 +1242,21 @@ let report_json t =
             [
               ("entries", J.Int (Cache.length t.cache));
               ("capacity", J.Int (Cache.capacity t.cache));
-              ("hits", J.Int (Obs.value c_hits));
-              ("misses", J.Int (Obs.value c_misses));
+              ("hits", J.Int (rel t c_hits));
+              ("misses", J.Int (rel t c_misses));
               ("evictions", J.Int (Cache.evictions t.cache));
             ] );
+        ( "recovery",
+          match t.recovery with
+          | None -> J.Obj []
+          | Some r ->
+              J.Obj
+                [
+                  ("replayed", J.Int r.replayed);
+                  ("truncated_bytes", J.Int r.truncated_bytes);
+                  ("snapshots_restored", J.Int r.snapshots_restored);
+                  ("restore_ms", J.Int r.restore_ms);
+                ] );
       ]
   in
   J.Obj
@@ -852,5 +1275,6 @@ let report_json t =
       ("histograms", histograms);
       ("ledger", Ledger.to_json Ledger.default);
       ("faults", Recovery.report_json ());
+      ("durability", Recovery.durability_json ());
       ("trace_meta", Wm_obs.Trace.meta ());
     ]

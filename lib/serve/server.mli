@@ -70,6 +70,22 @@ type config = {
   warm_start : bool;
       (** warm-start solves from the session's last matching (default
           [true]); [false] forces every solve cold — the T10 baseline *)
+  wal_dir : string option;
+      (** durability directory (default [None] = volatile).  When set,
+          every state-mutating input line is appended to a CRC-checked,
+          fsynced write-ahead log {e before} its responses are emitted,
+          sessions are snapshotted periodically, and {!create} restores
+          the newest valid snapshots plus the WAL suffix — resuming the
+          crashed server byte-identically (transcripts, stats, digests,
+          generations, cache state) *)
+  snapshot_every : int;
+      (** write session snapshots every this many WAL records
+          (default 8); [0] disables periodic snapshots (one is still
+          written on shutdown, drain, and EOF) *)
+  crash_after : int option;
+      (** test hook: {!run} SIGKILLs the process after emitting the
+          responses of this many input lines — the deterministic
+          mid-stream kill of the crash-recovery fixtures *)
 }
 
 val default_config : unit -> config
@@ -77,9 +93,25 @@ val default_config : unit -> config
     {!Wm_fault.Spec.default}, [destroy_pool_on_shutdown = false] and
     [warm_start = true]. *)
 
+type recovery = {
+  replayed : int;  (** WAL records replayed *)
+  truncated_bytes : int;  (** torn/corrupt tail bytes cut by the scan *)
+  snapshots_restored : int;  (** sessions installed from snapshots *)
+  restore_ms : int;  (** wall-clock restore cost *)
+}
+
 type t
 
 val create : config -> t
+(** With [wal_dir = Some dir]: create the directory if needed, load the
+    newest valid snapshot per session, scan the WAL (truncating any
+    torn tail), replay the suffix past each snapshot, and open the log
+    for appending — the returned server continues exactly where the
+    previous incarnation stopped. *)
+
+val recovery : t -> recovery option
+(** Restore accounting: [Some] iff the server was created with a
+    [wal_dir] (all-zero for a fresh directory). *)
 
 val stopped : t -> bool
 (** True once a [shutdown] request has been acknowledged; further
@@ -99,12 +131,21 @@ val flush : t -> Wm_obs.Json.t list
     responses in arrival order. *)
 
 val eof : t -> Wm_obs.Json.t list
-(** End of input: {!flush}. *)
+(** End of input: {!flush}, commit the WAL, and write a final snapshot
+    of every session (so the next start replays nothing). *)
+
+val drain : t -> Wm_obs.Json.t list
+(** Orderly drain — what the SIGTERM/SIGINT handler runs: execute and
+    answer the queued solves, commit the WAL, final-snapshot every
+    session.  (Same as {!eof}.) *)
 
 val run : t -> in_channel -> out_channel -> unit
 (** The stdin/stdout transport: read request lines until EOF or
     [shutdown], emitting each response as one compact JSON line
-    (flushed per batch). *)
+    (flushed per batch).  While running, SIGTERM and SIGINT trigger
+    {!drain} (responses for queued solves are still emitted) instead of
+    killing the process; the previous handlers are restored on
+    return. *)
 
 val sessions : t -> (string * int * int) list
 (** Loaded sessions as [(digest, n, m)] in load order (for tests). *)

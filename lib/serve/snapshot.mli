@@ -1,0 +1,36 @@
+(** Per-session binary snapshots (DESIGN.md §5.5).
+
+    A snapshot captures one session — graph, digest, generation, warm
+    matchings — together with [lsn], the WAL position it reflects, and
+    [origin], the session's stable identity (the LSN of its first
+    load).  On restore the newest valid snapshot per origin is
+    installed and only the WAL suffix past its [lsn] is replayed.
+
+    Files are named [snap-<digest>.bin] and published atomically:
+    temp-file, fsync, rename, directory fsync.  A file that fails its
+    CRC or whose decoded graph does not hash back to the recorded
+    digest is skipped by {!load_all} — the WAL alone is sufficient for
+    recovery, a snapshot only shortens replay. *)
+
+type s = {
+  origin : int;  (** LSN of the session's first load *)
+  lsn : int;  (** WAL head when the snapshot was taken *)
+  digest : string;
+  generation : int;
+  graph : Wm_graph.Weighted_graph.t;
+  warm : (string * Wm_graph.Matching.t) list;
+      (** warm-start matchings keyed by canonical solve parameters *)
+}
+
+val file : dir:string -> string -> string
+(** [file ~dir digest] is the snapshot's path, [dir/snap-<digest>.bin]. *)
+
+val write : dir:string -> s -> int
+(** Atomically write (or replace) the session's snapshot; returns the
+    framed size in bytes.  Accounted via
+    {!Wm_fault.Recovery.note_snapshot}. *)
+
+val load_all : dir:string -> (s * int) list
+(** All valid snapshots in [dir] paired with their file size in bytes,
+    newest per origin, sorted by origin.  Torn, corrupt, or
+    digest-mismatched files are silently skipped. *)

@@ -1,0 +1,108 @@
+(** The serving layer's write-ahead log (DESIGN.md §5.5).
+
+    One record per handled WM_REQ_v1 input line, appended and fsynced
+    {e before} the line's responses are emitted.  A record carries a
+    header — the end-of-line server state: request/batch tallies, the
+    server-relative [serve.*] counter vector, and the fault injector's
+    generator position — and a list of state-effect bodies in execution
+    order: [Load] / [Mutate] / [Evict] for the mutating verbs, [Flush]
+    for a completed solve batch (cache recency touches, cache inserts,
+    warm-matching updates), [Stop] for the shutdown verb.  A line with
+    tally-only effects (stats, malformed input, an immediately-rejected
+    solve) writes a body-less record, so the recovered request count and
+    counters are exact.  A {e successfully admitted} solve writes
+    nothing: queue contents are volatile by design, so the log head
+    stays at the last line whose effects are durable and a restart
+    re-feeds (and re-admits, replaying the same injector draws) from
+    the next line.
+
+    Framing is [u32-LE length | u32-LE CRC32 | payload]; payloads are
+    LEB128-varint binary.  {!scan} decodes the longest valid prefix,
+    truncates anything after it (a torn tail from a mid-append crash,
+    or CRC/decode corruption) in place, and accounts the cut through
+    {!Wm_fault.Recovery.note_wal_truncated}. *)
+
+type header = {
+  reqno : int;
+  batchno : int;
+  rng : int64 option;
+      (** {!Wm_fault.Injector.rng_state} after the line; [None] for an
+          inert fault plan *)
+  counters : int array;
+      (** the server's [serve.*] counter vector, as deltas from its
+          creation baseline (order fixed by {!Server}) *)
+}
+
+type body =
+  | Load of { origin : int; digest : string; graph : string }
+      (** [origin] is the LSN of the session's {e first} load — the
+          stable identity snapshots are keyed by across digest
+          re-keying; [graph] is a {!Wm_graph.Graph_io.to_binary}
+          frame. *)
+  | Mutate of {
+      old_digest : string;
+      new_digest : string;
+      subsumed : bool;  (** the new digest collided with a live session *)
+      add_vertices : int;
+      add : (int * int * int) list;
+      remove : (int * int) list;
+    }
+  | Evict of { digest : string option }  (** [None] = evict everything *)
+  | Flush of {
+      touches : string list;
+      inserts : (string * string) list;
+      warm : (string * string * string) list;
+    }
+  | Stop
+
+type record = { header : header; bodies : body list }
+
+type t
+
+val path : dir:string -> string
+(** [dir ^ "/wal.log"]. *)
+
+val open_log : dir:string -> head:int -> t
+(** Open (creating if absent) the log for appending.  [head] is the
+    LSN of the last existing record, as reported by {!scan}. *)
+
+val head : t -> int
+(** LSN of the most recently appended record (0 for an empty log). *)
+
+val append : t -> record -> int
+(** Append one record, fsync, and return its LSN (1-based).  The
+    record is durable when [append] returns. *)
+
+val close : t -> unit
+
+val scan : dir:string -> record list * int
+(** Decode the longest valid prefix of the log.  Returns the records
+    in append order and the number of trailing bytes truncated (0 for
+    a clean log); the file is physically truncated so subsequent
+    appends extend the valid prefix.  A missing file is an empty
+    log. *)
+
+(**/**)
+
+(** Binary primitives shared with {!Snapshot} (and handy for tests):
+    CRC32, LEB128 varints, length-prefixed strings, u32-LE framing. *)
+module Bin : sig
+  exception Corrupt of string
+
+  val crc32 : string -> int
+  val add_varint : Buffer.t -> int -> unit
+  val add_string : Buffer.t -> string -> unit
+  val add_int64 : Buffer.t -> int64 -> unit
+  val read_varint : string -> int -> int * int
+  val read_string : string -> int -> string * int
+  val read_int64 : string -> int -> int64 * int
+  val le32 : int -> string
+  val read_le32 : string -> int -> int
+  val frame : string -> string
+  val read_frame : string -> int -> (string * int) option
+end
+
+val encode_record : record -> string
+
+val decode_record : string -> record
+(** Raises {!Bin.Corrupt} on a malformed payload. *)
