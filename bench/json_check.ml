@@ -144,6 +144,74 @@ let () =
   (match J.member "serve" json with
   | Some s -> check_serve s
   | None -> ());
+  (* Shard block: mandatory on every serve report.  The single-process
+     path reports {shards: 0}; a router report must carry consistent
+     per-shard accounting — one entry per shard, indexed in order, with
+     transport totals equal to the per-shard sums (the metering is real
+     bytes on the wire, so the books must balance). *)
+  let check_shard b =
+    let get ctx j k =
+      match J.member k j with
+      | Some (J.Int n) when n >= 0 -> n
+      | _ -> fail "%s: %s lacks non-negative int %S" path ctx k
+    in
+    let shards = get "shard" b "shards" in
+    if shards > 0 then begin
+      (match J.member "router" b with
+      | Some r ->
+          List.iter
+            (fun k -> ignore (get "shard.router" r k))
+            [ "migrations"; "worker_restarts"; "sessions" ]
+      | None -> fail "%s: shard block lacks \"router\" object" path);
+      (match J.member "totals" b with
+      | Some (J.Obj _) -> ()
+      | _ -> fail "%s: shard block lacks \"totals\" object" path);
+      let transport =
+        match J.member "transport" b with
+        | Some t -> t
+        | None -> fail "%s: shard block lacks \"transport\" object" path
+      in
+      let per_shard =
+        match J.member "per_shard" b with
+        | Some (J.List l) -> l
+        | _ -> fail "%s: shard block lacks \"per_shard\" list" path
+      in
+      if List.length per_shard <> shards then
+        fail "%s: shard.per_shard has %d entries for %d shards" path
+          (List.length per_shard) shards;
+      let sums =
+        List.mapi
+          (fun i entry ->
+            let ctx = Printf.sprintf "shard.per_shard[%d]" i in
+            if get ctx entry "shard" <> i then
+              fail "%s: %s is out of order" path ctx;
+            ignore (get ctx entry "restarts");
+            ignore (get ctx entry "load");
+            (match J.member "serve" entry with
+            | Some (J.Obj _) -> ()
+            | _ -> fail "%s: %s lacks a \"serve\" block" path ctx);
+            ( get ctx entry "messages",
+              get ctx entry "bytes_sent",
+              get ctx entry "bytes_received" ))
+          per_shard
+      in
+      let sum f = List.fold_left (fun acc s -> acc + f s) 0 sums in
+      List.iter
+        (fun (k, total) ->
+          if get "shard.transport" transport k <> total then
+            fail "%s: shard.transport.%s does not equal the per-shard sum"
+              path k)
+        [
+          ("messages", sum (fun (m, _, _) -> m));
+          ("bytes_sent", sum (fun (_, b, _) -> b));
+          ("bytes_received", sum (fun (_, _, r) -> r));
+        ]
+    end
+  in
+  (match (J.member "serve" json, J.member "shard" json) with
+  | Some _, Some b -> check_shard b
+  | Some _, None -> fail "%s: serve report lacks a \"shard\" block" path
+  | None, _ -> ());
   (match J.member "experiments" json with
   | Some (J.List []) ->
       if J.member "serve" json = None then
@@ -186,7 +254,13 @@ let () =
           if solve_mode && mw = 0 then
             fail "%s: gc block reports zero minor allocation for a solve run"
               path;
-          if th = 0 then fail "%s: gc block reports zero top_heap_words" path
+          (* Serve-mode reports may legitimately be all-zero: the shard
+             router solves nothing itself, and [Gc.quick_stat] only
+             reflects counters merged at collection events — a
+             low-allocation process that has not GC'd yet reports
+             zeros. *)
+          if solve_mode && th = 0 then
+            fail "%s: gc block reports zero top_heap_words" path
       | _ -> assert false)
   | None -> fail "%s: missing \"gc\" block" path);
   (* Histograms: non-empty, and each entry structurally sound (count
@@ -310,7 +384,8 @@ let () =
           | _ -> fail "%s: durability.%s is not a non-negative int" path k)
         [
           "wal_records"; "wal_bytes"; "wal_replayed"; "wal_truncated_bytes";
-          "snapshots"; "snapshot_restores"; "checkpoints"; "restores";
+          "snapshots"; "snapshot_restores"; "wal_compacted";
+          "worker_restarts"; "checkpoints"; "restores";
         ]
   | None -> fail "%s: missing \"durability\" block" path);
   (* Trace metadata: present even when tracing was off. *)

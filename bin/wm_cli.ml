@@ -386,9 +386,48 @@ let run_experiments ids quick seed jobs faults =
 (* The serving loop: line-delimited WM_REQ_v1 on stdin, WM_RESP_v1 on
    stdout.  See lib/serve and DESIGN.md §5.3. *)
 
+let parse_kill_shard s =
+  match String.index_opt s ':' with
+  | Some i -> (
+      match
+        ( int_of_string_opt (String.sub s 0 i),
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+      with
+      | Some k, Some n -> Some (k, n)
+      | _ -> None)
+  | None -> None
+
 let run_serve jobs queue_depth cache_entries deadline_ms no_warm report faults
-    wal_dir snapshot_every crash_after =
-  if queue_depth < 1 then begin
+    wal_dir snapshot_every crash_after shards kill_shard =
+  let kill =
+    match kill_shard with
+    | None -> None
+    | Some s -> (
+        match parse_kill_shard s with
+        | Some plan -> Some plan
+        | None ->
+            Printf.eprintf "wm_cli: --kill-shard expects K:N (e.g. 1:2)\n";
+            exit exit_usage)
+  in
+  if shards < 0 then begin
+    Printf.eprintf "wm_cli: --shards must be non-negative\n";
+    exit_usage
+  end
+  else if shards > 0 && crash_after <> None then begin
+    Printf.eprintf "wm_cli: --crash-after is incompatible with --shards\n";
+    exit_usage
+  end
+  else if
+    match kill with
+    | None -> false
+    | Some (k, n) -> shards = 0 || k < 0 || k >= shards || n < 1
+  then begin
+    Printf.eprintf
+      "wm_cli: --kill-shard needs --shards N with 0 <= K < N and a \
+       positive dispatch count\n";
+    exit_usage
+  end
+  else if queue_depth < 1 then begin
     Printf.eprintf "wm_cli: --queue-depth must be at least 1\n";
     exit_usage
   end
@@ -423,10 +462,22 @@ let run_serve jobs queue_depth cache_entries deadline_ms no_warm report faults
         wal_dir;
         snapshot_every;
         crash_after;
+        shard_id = 0;
+        executor = None;
+        on_load = None;
+        on_rekey = None;
+        on_evict = None;
+        reporter = None;
       }
     in
-    let server = Wm_serve.Server.create config in
-    Wm_serve.Server.run server stdin stdout;
+    let report_json =
+      if shards = 0 then begin
+        let server = Wm_serve.Server.create config in
+        Wm_serve.Server.run server stdin stdout;
+        Wm_serve.Server.report_json server
+      end
+      else Wm_shard.Router.serve ~shards ?kill ~config stdin stdout
+    in
     (match report with
     | None -> ()
     | Some path ->
@@ -434,7 +485,7 @@ let run_serve jobs queue_depth cache_entries deadline_ms no_warm report faults
         Fun.protect
           ~finally:(fun () -> close_out oc)
           (fun () ->
-            Wm_obs.Json.to_channel oc (Wm_serve.Server.report_json server);
+            Wm_obs.Json.to_channel oc report_json;
             output_char oc '\n'));
     0
 
@@ -708,6 +759,32 @@ let serve_cmd =
              process immediately after emitting the responses of the \
              $(docv)-th input line.")
   in
+  let shards_t =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Fork $(docv) worker processes, each a full matching server, \
+             and route sessions to them by consistent hashing on the \
+             content digest.  The fronting router keeps the whole \
+             client-visible control plane (admission, chaos, result \
+             cache), so responses are byte-identical to $(b,--shards) 0 \
+             (the default single-process path); with $(b,--wal-dir) each \
+             worker gets its own durability directory and a killed \
+             worker is respawned and recovered transparently.")
+  in
+  let kill_shard_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kill-shard" ] ~docv:"K:N"
+          ~doc:
+            "Testing hook for the shard-recovery fixtures: SIGKILL \
+             worker $(b,K) right after its $(b,N)-th dispatch group is \
+             sent, before its responses are read.  Requires \
+             $(b,--shards).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -723,7 +800,7 @@ let serve_cmd =
     Term.(
       const run_serve $ jobs_t $ queue_depth_t $ cache_entries_t
       $ deadline_ms_t $ no_warm_t $ report_t $ faults_t $ wal_dir_t
-      $ snapshot_every_t $ crash_after_t)
+      $ snapshot_every_t $ crash_after_t $ shards_t $ kill_shard_t)
 
 let recover_cmd =
   let wal_dir_t =

@@ -21,6 +21,8 @@ let c_wal_replayed = Obs.counter Obs.default "fault.wal_replayed"
 let c_wal_truncated = Obs.counter Obs.default "fault.wal_truncated_bytes"
 let c_snapshots = Obs.counter Obs.default "fault.snapshots"
 let c_snapshot_restores = Obs.counter Obs.default "fault.snapshot_restores"
+let c_wal_compacted = Obs.counter Obs.default "fault.wal_compacted"
+let c_worker_restarts = Obs.counter Obs.default "fault.worker_restarts"
 
 let with_retry ~attempts ~site ~on_retry f =
   let rec go attempt =
@@ -81,6 +83,15 @@ let note_snapshot_restore ~bytes ~at =
   Obs.incr c_snapshot_restores;
   note_restore ~words:(bytes / 8) ~at
 
+let note_wal_compacted ~records =
+  Obs.add c_wal_compacted records;
+  Ledger.record ~label:"wal_compacted" Ledger.default ~section
+    [ ("records", records) ]
+
+let note_worker_restart () =
+  Obs.incr c_worker_restarts;
+  Ledger.record ~label:"worker_restart" Ledger.default ~section []
+
 let durability_json () =
   let v c = J.Int (Obs.value c) in
   J.Obj
@@ -91,6 +102,8 @@ let durability_json () =
       ("wal_truncated_bytes", v c_wal_truncated);
       ("snapshots", v c_snapshots);
       ("snapshot_restores", v c_snapshot_restores);
+      ("wal_compacted", v c_wal_compacted);
+      ("worker_restarts", v c_worker_restarts);
       ("checkpoints", v c_checkpoints);
       ("restores", v c_restores);
     ]

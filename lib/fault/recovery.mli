@@ -55,6 +55,13 @@ val note_snapshot_restore : bytes:int -> at:int -> unit
 (** One session restored from a snapshot; also counts as a
     {!note_restore}. *)
 
+val note_wal_compacted : records:int -> unit
+(** [records] physical WAL records were folded into a base record by
+    log compaction. *)
+
+val note_worker_restart : unit -> unit
+(** The shard router killed and respawned a dead worker process. *)
+
 val durability_json : unit -> Wm_obs.Json.t
 (** The BENCH_v1 [durability] block: WAL records/bytes appended,
     records replayed, bytes truncated, snapshots written/restored, and

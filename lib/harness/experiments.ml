@@ -1114,7 +1114,7 @@ let run_t10 ~quick ~seed =
        leg has a matching to start from (excluded from the timed loop,
        like any steady-state benchmark warmup). *)
     let acc = send [] 0 (Pr.Load { graph = Some text0; path = None }) in
-    let acc = send acc 1 (Pr.Solve { digest = None; params = solve_params }) in
+    let acc = send acc 1 (Pr.Solve { digest = None; params = solve_params; chaos = None }) in
     let acc = List.rev_append (Srv.flush server) acc in
     let t0 = Wm_obs.Obs.now_ns () in
     let acc =
@@ -1130,7 +1130,7 @@ let run_t10 ~quick ~seed =
                 (Pr.Remove_edges { digest = None; edges = remove })
             else send acc base (Pr.Load { graph = Some text; path = None })
           in
-          (i + 1, send acc (base + 2) (Pr.Solve { digest = None; params = solve_params })))
+          (i + 1, send acc (base + 2) (Pr.Solve { digest = None; params = solve_params; chaos = None })))
         (0, acc) (List.combine steps texts)
       |> snd
     in

@@ -12,6 +12,7 @@ type t = {
   mutable rounds : int;
   mutable peak : int;
   faults : Injector.t;
+  meter : Meter.t;
 }
 
 (* Per-operation accounting rows: [label] is the communication
@@ -20,13 +21,7 @@ type t = {
    behind the Thm 4.1 O_eps(log log n)-rounds / O~(n)-memory audit.
    [round] is the cluster's round clock after the operation. *)
 let op_row t ~label ~rounds ~words ~max_load =
-  Ledger.record Ledger.default ~label ~section:"mpc.ops"
-    [
-      ("round", t.rounds);
-      ("rounds", rounds);
-      ("words", words);
-      ("max_load", max_load);
-    ]
+  Meter.op t.meter ~label ~round:t.rounds ~rounds ~words ~max_load
 
 exception Memory_exceeded of { machine : int; used : int; capacity : int }
 
@@ -42,6 +37,7 @@ let create ?faults ~machines ~memory_words () =
     rounds = 0;
     peak = 0;
     faults = Injector.create ~section:"mpc.faults" spec;
+    meter = Meter.create ~section:"mpc.ops" ();
   }
 
 let machines t = t.machines

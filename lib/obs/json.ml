@@ -241,3 +241,25 @@ let of_string s =
 let member key = function
   | Obj kvs -> List.assoc_opt key kvs
   | _ -> None
+
+let rec merge_sum a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x + y)
+  | Float x, Float y -> Float (x +. y)
+  | Int x, Float y | Float y, Int x -> Float (float_of_int x +. y)
+  | Obj xs, Obj ys ->
+      (* Union of keys: [a]'s keys first (in [a]'s order, merged where
+         [b] shares them), then [b]'s extras in [b]'s order. *)
+      let merged =
+        List.map
+          (fun (k, v) ->
+            match List.assoc_opt k ys with
+            | Some w -> (k, merge_sum v w)
+            | None -> (k, v))
+          xs
+      in
+      let extras =
+        List.filter (fun (k, _) -> not (List.mem_assoc k xs)) ys
+      in
+      Obj (merged @ extras)
+  | _ -> a

@@ -31,3 +31,11 @@ val of_string : string -> (t, string) result
 
 val member : string -> t -> t option
 (** [member key json] looks up [key] when [json] is an object. *)
+
+val merge_sum : t -> t -> t
+(** Structural sum: numeric leaves add ([Int]+[Int] stays [Int], any
+    [Float] involvement yields [Float]), objects merge recursively on
+    the union of their keys (first operand's key order, extras
+    appended).  Anything else — strings, bools, lists, mismatched
+    shapes — keeps the first operand.  Used to aggregate per-shard
+    counter blocks into fleet totals. *)

@@ -89,6 +89,17 @@ let keys t =
   in
   go [] t.head
 
+let dump t =
+  (* LRU first, so [List.iter (add t') (dump t)] rebuilds identical
+     recency order in a fresh cache. *)
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go ((n.key, n.value) :: acc) n.prev
+  in
+  go [] t.tail
+
+let set_evictions t n = t.evicted <- n
+
 let remove_where t pred =
   let doomed = List.filter pred (keys t) in
   List.iter (remove t) doomed;

@@ -49,3 +49,11 @@ val evictions : 'a t -> int
 
 val keys : 'a t -> string list
 (** Keys from most- to least-recently-used (for tests and stats). *)
+
+val dump : 'a t -> (string * 'a) list
+(** Entries from {e least}- to most-recently-used — the order that
+    replays into an empty cache (via repeated {!add}) to reproduce both
+    contents and recency.  Used by WAL compaction. *)
+
+val set_evictions : 'a t -> int -> unit
+(** Restore the eviction tally after rebuilding from a {!dump}. *)

@@ -68,7 +68,7 @@ let run ~server ~clients ~windows ?(algos = [ Protocol.Streaming; Protocol.Greed
       Hashtbl.replace submitted id (Obs.now_ns ());
       consume
         (Server.handle_request server
-           { Protocol.id; verb = Protocol.Solve { digest = None; params } })
+           { Protocol.id; verb = Protocol.Solve { digest = None; params; chaos = None } })
     done;
     consume (Server.flush server)
   done;

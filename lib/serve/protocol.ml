@@ -9,14 +9,31 @@ type solve_params = {
   deadline_ms : int option;
 }
 
+(* Pre-drawn chaos carried on an internal (router -> shard) solve: the
+   router owns the fault injector, draws the plan at admission, and the
+   worker replays it instead of drawing its own — that is what keeps
+   transcripts byte-identical across --shards settings. *)
+type chaos = {
+  expire_round : int option;  (** injected deadline-expiry round *)
+  crashes : int;  (** attempts to abort before one succeeds *)
+  warm : string option;  (** hex-encoded warm-start matching binary *)
+  want_matching : bool;  (** return the matching with the result *)
+}
+
 type verb =
   | Load of { graph : string option; path : string option }
-  | Solve of { digest : string option; params : solve_params }
+  | Solve of {
+      digest : string option;
+      params : solve_params;
+      chaos : chaos option;
+    }
   | Add_edges of { digest : string option; edges : (int * int * int) list }
   | Remove_edges of { digest : string option; edges : (int * int) list }
   | Add_vertices of { digest : string option; count : int }
   | Stats
   | Evict of { digest : string option }
+  | Ping
+  | Report
   | Shutdown
 
 type request = { id : int; verb : verb }
@@ -53,7 +70,33 @@ let float_field obj key =
   | None -> Ok None
   | Some _ -> Error (Printf.sprintf "field %S must be a number" key)
 
+let bool_field obj key =
+  match J.member key obj with
+  | Some (J.Bool b) -> Ok (Some b)
+  | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" key)
+
 let ( let* ) = Result.bind
+
+(* The x_* fields are the internal router->shard surface: they are
+   parsed like any other field (the protocol stays one grammar) but
+   only the shard router emits them. *)
+let parse_chaos obj =
+  let* expire = int_field obj "x_expire" in
+  let* crashes = int_field obj "x_crashes" in
+  let* warm = str_field obj "x_warm" in
+  let* want = bool_field obj "x_matching" in
+  match (expire, crashes, warm, want) with
+  | None, None, None, None -> Ok None
+  | _ ->
+      Ok
+        (Some
+           {
+             expire_round = expire;
+             crashes = Option.value crashes ~default:0;
+             warm;
+             want_matching = Option.value want ~default:false;
+           })
 
 let parse_solve obj =
   let* digest = str_field obj "digest" in
@@ -86,7 +129,8 @@ let parse_solve obj =
     | Some d when d <= 0 -> Error "field \"deadline_ms\" must be positive"
     | _ -> Ok ()
   in
-  Ok (Solve { digest; params = { algo; epsilon; seed; deadline_ms } })
+  let* chaos = parse_chaos obj in
+  Ok (Solve { digest; params = { algo; epsilon; seed; deadline_ms }; chaos })
 
 (* Mutation targets accept the same digest addressing as [solve]:
    omitted or "latest" means the most recently loaded session. *)
@@ -181,12 +225,15 @@ let parse_request line =
         | "evict" ->
             let* digest = str_field obj "digest" in
             Ok (Evict { digest })
+        | "ping" -> Ok Ping
+        | "report" -> Ok Report
         | "shutdown" -> Ok Shutdown
         | s ->
             Error
               (Printf.sprintf
                  "unknown verb %S (expected load, solve, add_edges, \
-                  remove_edges, add_vertices, stats, evict or shutdown)"
+                  remove_edges, add_vertices, stats, evict, ping, report or \
+                  shutdown)"
                  s)
       in
       Ok { id; verb })
@@ -240,3 +287,71 @@ let status_code = function
   | "overloaded" -> 1
   | "deadline" -> 2
   | _ -> 3
+
+(* ------------------------------------------------------------------ *)
+(* Hex framing for binary payloads carried inside JSON strings (warm
+   matchings, returned matchings).  JSON strings are not binary-safe;
+   hex is, and stays diffable in transcripts. *)
+
+let hex_encode s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let hex_decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "hex_decode: odd length";
+  let nib i =
+    match s.[i] with
+    | '0' .. '9' as c -> Char.code c - Char.code '0'
+    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "hex_decode: not a hex digit"
+  in
+  String.init (n / 2) (fun i -> Char.chr ((nib (2 * i) lsl 4) lor nib ((2 * i) + 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Request-line builders: the router's half of the wire.  Emitting
+   through the same grammar [parse_request] reads keeps the internal
+   hop on the public protocol — a worker is a stock server. *)
+
+let request_line ~id ~verb fields =
+  J.to_string
+    (J.Obj
+       ([ ("schema", J.Str "WM_REQ_v1"); ("id", J.Int id); ("verb", J.Str verb) ]
+       @ fields))
+
+let load_line ~id ~graph = request_line ~id ~verb:"load" [ ("graph", J.Str graph) ]
+
+let solve_line ~id ~digest ~params ~chaos =
+  let base =
+    [
+      ("digest", J.Str digest);
+      ("algo", J.Str (algo_name params.algo));
+      ("epsilon", J.Float params.epsilon);
+      ("seed", J.Int params.seed);
+    ]
+    @ (match params.deadline_ms with
+      | Some ms -> [ ("deadline_ms", J.Int ms) ]
+      | None -> [])
+  in
+  let extra =
+    match chaos with
+    | None -> []
+    | Some c ->
+        (match c.expire_round with
+        | Some k -> [ ("x_expire", J.Int k) ]
+        | None -> [])
+        @ [ ("x_crashes", J.Int c.crashes) ]
+        @ (match c.warm with Some w -> [ ("x_warm", J.Str w) ] | None -> [])
+        @ if c.want_matching then [ ("x_matching", J.Bool true) ] else []
+  in
+  request_line ~id ~verb:"solve" (base @ extra)
+
+let evict_line ~id ~digest =
+  request_line ~id ~verb:"evict"
+    (match digest with Some d -> [ ("digest", J.Str d) ] | None -> [])
+
+let ping_line ~id = request_line ~id ~verb:"ping" []
+let report_line ~id = request_line ~id ~verb:"report" []
+let shutdown_line ~id = request_line ~id ~verb:"shutdown" []

@@ -56,14 +56,45 @@ type solve_params = {
           default *)
 }
 
+type chaos = {
+  expire_round : int option;
+      (** injected deadline expiry at this round ([x_expire]) *)
+  crashes : int;
+      (** solve attempts to abort before one succeeds ([x_crashes]) *)
+  warm : string option;
+      (** hex-encoded {!Wm_graph.Graph_io.matching_to_binary} warm-start
+          matching ([x_warm]); when a chaos block is present the worker
+          {e never} consults its own warm table *)
+  want_matching : bool;
+      (** include the hex-encoded result matching in the [ok] response
+          ([x_matching]); such solves also bypass the server-side result
+          cache so a matching is always produced *)
+}
+(** Pre-drawn fault plan on an internal (router -> shard) solve.  The
+    shard router owns the session-facing fault injector and draws the
+    chaos plan sequentially at admission, exactly as a single-process
+    server would; the worker replays the carried plan instead of drawing
+    its own.  That is what keeps transcripts byte-identical across
+    [--shards] settings.  Client requests simply omit these fields. *)
+
 type verb =
   | Load of { graph : string option; path : string option }
-  | Solve of { digest : string option; params : solve_params }
+  | Solve of {
+      digest : string option;
+      params : solve_params;
+      chaos : chaos option;
+    }
   | Add_edges of { digest : string option; edges : (int * int * int) list }
   | Remove_edges of { digest : string option; edges : (int * int) list }
   | Add_vertices of { digest : string option; count : int }
   | Stats
   | Evict of { digest : string option }
+  | Ping
+      (** health probe: answers shard id, queue depth and cache
+          occupancy without flushing the batch queue *)
+  | Report
+      (** batch boundary; answers the server's full BENCH_v1 report
+          under ["report"] (non-deterministic: timings, GC) *)
   | Shutdown
 
 type request = { id : int; verb : verb }
@@ -111,3 +142,25 @@ val error_response : id:int -> string -> Wm_obs.Json.t
 val status_code : string -> int
 (** Stable integer form of a status for ledger rows: ok 0, overloaded 1,
     deadline 2, error 3 (anything else 3). *)
+
+val hex_encode : string -> string
+(** Lower-case hex of an arbitrary byte string (binary-safe framing for
+    JSON-embedded payloads). *)
+
+val hex_decode : string -> string
+(** Inverse of {!hex_encode}; raises [Invalid_argument] on odd length or
+    a non-hex digit. *)
+
+(** {2 Request-line builders}
+
+    The router's half of the wire: each returns one complete WM_REQ_v1
+    line (no trailing newline) that {!parse_request} reads back.  The
+    internal router->shard hop uses the same public grammar clients do —
+    a shard worker is a stock server. *)
+
+val load_line : id:int -> graph:string -> string
+val solve_line : id:int -> digest:string -> params:solve_params -> chaos:chaos option -> string
+val evict_line : id:int -> digest:string option -> string
+val ping_line : id:int -> string
+val report_line : id:int -> string
+val shutdown_line : id:int -> string

@@ -9,6 +9,24 @@ module Injector = Wm_fault.Injector
 module Recovery = Wm_fault.Recovery
 module Spec = Wm_fault.Spec
 
+(* One unit of remote work handed to an [executor]: a deduplicated
+   leader solve with everything pre-drawn at admission (chaos plan,
+   warm-start matching), so executing it anywhere — another process,
+   another machine — replays the single-process plan exactly. *)
+type job = {
+  job_key : string;
+  job_id : int;  (** the batch-unique arrival number, echoed in responses *)
+  job_digest : string;
+  job_graph : G.t;
+  job_params : Protocol.solve_params;
+  job_warm : M.t option;
+  job_expire : int option;
+  job_crashes : int;
+}
+
+type outcome =
+  [ `Ok of J.t * M.t | `Deadline of J.t * M.t | `Error of string ]
+
 type config = {
   queue_depth : int;
   cache_entries : int;
@@ -19,6 +37,12 @@ type config = {
   wal_dir : string option;
   snapshot_every : int;
   crash_after : int option;
+  shard_id : int;
+  executor : (job list -> (string * outcome) list) option;
+  on_load : (digest:string -> graph:G.t -> unit) option;
+  on_rekey : (old_digest:string -> digest:string -> graph:G.t -> unit) option;
+  on_evict : (string option -> unit) option;
+  reporter : (unit -> J.t) option;
 }
 
 let default_config () =
@@ -32,6 +56,12 @@ let default_config () =
     wal_dir = None;
     snapshot_every = 8;
     crash_after = None;
+    shard_id = 0;
+    executor = None;
+    on_load = None;
+    on_rekey = None;
+    on_evict = None;
+    reporter = None;
   }
 
 type recovery = {
@@ -61,6 +91,7 @@ let c_edges_added = Obs.counter Obs.default "serve.edges_added"
 let c_edges_removed = Obs.counter Obs.default "serve.edges_removed"
 let c_vertices_added = Obs.counter Obs.default "serve.vertices_added"
 let c_warm = Obs.counter Obs.default "serve.warm_solves"
+let c_compacted = Obs.counter Obs.default "serve.wal.compacted_records"
 let h_latency = Obs.histogram Obs.default "serve.latency_ns"
 let h_batch = Obs.histogram Obs.default "serve.batch_size"
 
@@ -76,6 +107,7 @@ let counter_vec =
     c_requests; c_loads; c_solves; c_hits; c_misses; c_overloaded; c_shed;
     c_deadline; c_retries; c_errors; c_batches; c_evicts; c_shutdowns;
     c_mutations; c_edges_added; c_edges_removed; c_vertices_added; c_warm;
+    c_compacted;
   |]
 
 (* One admitted solve.  Chaos decisions (injected crash count, injected
@@ -95,6 +127,9 @@ type session = {
   mutable digest : string;
   mutable generation : int;  (** mutations applied since load *)
   warm : (string, M.t) Hashtbl.t;
+  mutable snap_file : string option;
+      (** on-disk snapshot currently holding this session, for GC on
+          eviction and on supersession by a re-keyed snapshot *)
 }
 
 type queued = {
@@ -110,6 +145,8 @@ type queued = {
   expire_round : int option;  (** injected deadline expiry round *)
   mutable crashes_left : int;  (** pre-drawn serve-level crashes *)
   deadline_ns : int option;  (** wall-clock deadline *)
+  want_matching : bool;
+      (** internal solve: bypass the result cache, return the matching *)
 }
 
 type t = {
@@ -167,6 +204,18 @@ let recovery t = t.recovery
 (* ------------------------------------------------------------------ *)
 (* Durability: WAL commit, snapshots, restore (DESIGN.md §5.5) *)
 
+let rm_quiet path = try Sys.remove path with Sys_error _ -> ()
+
+(* Drop a session's on-disk snapshot (eviction, or supersession by a
+   snapshot under a newer digest).  Snapshot GC keeps the wal-dir's
+   file census equal to the live-session census. *)
+let gc_snapshot s =
+  match s.snap_file with
+  | Some f ->
+      rm_quiet f;
+      s.snap_file <- None
+  | None -> ()
+
 let write_snapshots t =
   match (t.wal, t.config.wal_dir) with
   | Some w, Some dir ->
@@ -187,9 +236,53 @@ let write_snapshots t =
                  generation = s.generation;
                  graph = s.graph;
                  warm;
-               }))
+               });
+          let file = Snapshot.file ~dir d in
+          (match s.snap_file with
+          | Some old when old <> file -> rm_quiet old
+          | _ -> ());
+          s.snap_file <- Some file)
         t.order;
-      t.last_snap_lsn <- lsn
+      t.last_snap_lsn <- lsn;
+      (* WAL compaction: every live session now has a snapshot at
+         [lsn], so the whole prefix of the log collapses into one
+         [Base] record — bookkeeping that is not derivable from the
+         snapshots (session order, last-loaded digest, cache LRU state)
+         — and the log stops growing with history.  The base keeps the
+         {e logical} LSN, so snapshot LSNs and later records replay
+         unchanged.  After compaction the snapshots are load-bearing: a
+         lost snapshot can no longer be rebuilt from dropped Load
+         records, and restore fails loudly rather than resurrecting a
+         partial state. *)
+      let dropped = Wal.physical w - 1 in
+      if dropped > 0 then begin
+        let cache_dump =
+          List.map (fun (k, v) -> (k, J.to_string v)) (Cache.dump t.cache)
+        in
+        let base =
+          {
+            Wal.header = current_header t;
+            bodies =
+              [
+                Wal.Base
+                  {
+                    lsn;
+                    order =
+                      List.map
+                        (fun d -> ((Hashtbl.find t.sessions d).origin, d))
+                        t.order;
+                    last = t.last;
+                    stopped = t.stopped;
+                    cache = cache_dump;
+                    evictions = Cache.evictions t.cache;
+                  };
+              ];
+          }
+        in
+        Wal.compact w base;
+        Obs.add c_compacted dropped;
+        Recovery.note_wal_compacted ~records:dropped
+      end
   | _ -> ()
 
 (* End-of-line commit: append (and fsync) one record carrying this
@@ -226,13 +319,57 @@ let commit t =
    against — is re-applied.  Cache effects always replay in full: the
    cache is global, never snapshotted, and its LRU/eviction state is a
    pure function of the logged touch/insert sequence. *)
-let replay_body t ~lsn ~head ~snaps ~seen ~skip ~restored body =
+let replay_body t ~dir ~lsn ~head ~snaps ~seen ~skip ~restored body =
   let in_skip s =
     match Hashtbl.find_opt skip s.origin with
     | Some sl -> lsn <= sl
     | None -> false
   in
   match body with
+  | Wal.Base { lsn = _; order; last; stopped; cache; evictions } ->
+      (* A compacted log opens with its own bookkeeping: sessions are
+         installed straight from their snapshots (the compaction point
+         wrote one per live session, at exactly this LSN), and the
+         cache's LRU contents arrive as a dump instead of a replayed
+         touch/insert history.  Load records below the base are gone,
+         so a missing snapshot is unrecoverable — fail loudly. *)
+      List.iter
+        (fun (origin, digest) ->
+          match Hashtbl.find_opt snaps origin with
+          | Some (s, bytes) when s.Snapshot.lsn <= head ->
+              Hashtbl.replace seen origin ();
+              Hashtbl.replace skip origin s.Snapshot.lsn;
+              incr restored;
+              Recovery.note_snapshot_restore ~bytes ~at:s.Snapshot.lsn;
+              let warm = Hashtbl.create 4 in
+              List.iter (fun (k, m) -> Hashtbl.replace warm k m)
+                s.Snapshot.warm;
+              t.order <- t.order @ [ digest ];
+              Hashtbl.replace t.sessions digest
+                {
+                  origin;
+                  graph = s.Snapshot.graph;
+                  digest;
+                  generation = s.Snapshot.generation;
+                  warm;
+                  snap_file = Some (Snapshot.file ~dir s.Snapshot.digest);
+                }
+          | _ ->
+              failwith
+                (Printf.sprintf
+                   "wal replay: compacted log names session %s but its \
+                    snapshot is missing"
+                   digest))
+        order;
+      t.last <- last;
+      t.stopped <- stopped;
+      List.iter
+        (fun (k, v) ->
+          match J.of_string v with
+          | Ok j -> Cache.add t.cache k j
+          | Error _ -> failwith "wal replay: bad cached result in base")
+        cache;
+      Cache.set_evictions t.cache evictions
   | Wal.Load { origin; digest; graph } ->
       if Hashtbl.mem seen origin then
         (* Re-load of live content: [digest] is the session's current
@@ -260,6 +397,7 @@ let replay_body t ~lsn ~head ~snaps ~seen ~skip ~restored body =
                 digest;
                 generation = s.Snapshot.generation;
                 warm;
+                snap_file = Some (Snapshot.file ~dir s.Snapshot.digest);
               }
           | _ ->
               {
@@ -268,6 +406,7 @@ let replay_body t ~lsn ~head ~snaps ~seen ~skip ~restored body =
                 digest;
                 generation = 0;
                 warm = Hashtbl.create 4;
+                snap_file = None;
               }
         in
         t.order <- t.order @ [ digest ];
@@ -301,11 +440,15 @@ let replay_body t ~lsn ~head ~snaps ~seen ~skip ~restored body =
             s.generation <- s.generation + 1
           end)
   | Wal.Evict { digest = None } ->
+      Hashtbl.iter (fun _ s -> gc_snapshot s) t.sessions;
       Hashtbl.reset t.sessions;
       t.order <- [];
       t.last <- None;
       Cache.clear t.cache
   | Wal.Evict { digest = Some d } ->
+      (match Hashtbl.find_opt t.sessions d with
+      | Some s -> gc_snapshot s
+      | None -> ());
       Hashtbl.remove t.sessions d;
       t.order <- List.filter (fun x -> x <> d) t.order;
       (if t.last = Some d then
@@ -348,16 +491,27 @@ let restore t dir =
     (fun (s, bytes) -> Hashtbl.replace snaps s.Snapshot.origin (s, bytes))
     (Snapshot.load_all ~dir);
   let records, truncated_bytes = Wal.scan ~dir in
-  let head = List.length records in
+  let physical = List.length records in
+  (* A compacted log opens with a base record standing at its original
+     logical LSN; later records (and the head) are offset past it so
+     snapshot LSNs keep matching. *)
+  let base_off =
+    match records with
+    | { Wal.bodies = Wal.Base { lsn; _ } :: _; _ } :: _ -> lsn - 1
+    | _ -> 0
+  in
+  let head = physical + base_off in
   let seen = Hashtbl.create 8 in
   let skip = Hashtbl.create 8 in
   let restored = ref 0 in
   let last_hdr = ref None in
   List.iteri
     (fun i { Wal.header; bodies } ->
-      let lsn = i + 1 in
+      let lsn = i + 1 + base_off in
       last_hdr := Some header;
-      List.iter (replay_body t ~lsn ~head ~snaps ~seen ~skip ~restored) bodies)
+      List.iter
+        (replay_body t ~dir ~lsn ~head ~snaps ~seen ~skip ~restored)
+        bodies)
     records;
   (match !last_hdr with
   | None -> ()
@@ -375,13 +529,13 @@ let restore t dir =
           if i < Array.length h.Wal.counters then
             t.base.(i) <- Obs.value c - h.Wal.counters.(i))
         counter_vec);
-  if head > 0 then Recovery.note_wal_replay ~records:head;
-  t.wal <- Some (Wal.open_log ~dir ~head);
+  if physical > 0 then Recovery.note_wal_replay ~records:physical;
+  t.wal <- Some (Wal.open_log ~dir ~head ~physical);
   t.last_snap_lsn <- Hashtbl.fold (fun _ l acc -> Stdlib.max l acc) skip 0;
   t.recovery <-
     Some
       {
-        replayed = head;
+        replayed = physical;
         truncated_bytes;
         snapshots_restored = !restored;
         restore_ms = (Obs.now_ns () - t0) / 1_000_000;
@@ -423,6 +577,9 @@ let sessions t =
       let s = Hashtbl.find t.sessions d in
       (d, G.n s.graph, G.m s.graph))
     t.order
+
+let session_graphs t =
+  List.map (fun d -> (d, (Hashtbl.find t.sessions d).graph)) t.order
 
 let ledger_row t ~label ~id ~cached ~status ~latency_ns =
   Ledger.record ~label Ledger.default ~section:"serve.requests"
@@ -582,8 +739,16 @@ let flush t =
       | None -> (batch, [])
     in
     (* Cache lookups in arrival order: the recency bumps are part of the
-       deterministic LRU state. *)
-    let looked = List.map (fun q -> (q, Cache.find t.cache q.key)) batch in
+       deterministic LRU state.  Internal solves that must return a
+       matching ([want_matching]) bypass the lookup: a cached result
+       JSON carries no matching, and the router needs one for its
+       warm-start store. *)
+    let looked =
+      List.map
+        (fun q ->
+          (q, if q.want_matching then None else Cache.find t.cache q.key))
+        batch
+    in
     (* WAL capture: hits are recency touches, and the inserts/warm
        updates below are appended as they happen — together they replay
        to the exact post-batch cache and warm-start state without
@@ -615,9 +780,35 @@ let flush t =
         looked
     in
     let outcomes =
-      Wm_par.Pool.map (Wm_par.Pool.default ())
-        (fun q -> (q.key, execute t q))
-        jobs
+      match t.config.executor with
+      | None ->
+          Wm_par.Pool.map (Wm_par.Pool.default ())
+            (fun q -> (q.key, execute t q))
+            jobs
+      | Some exec ->
+          (* Delegated execution (the shard router).  The worker bills
+             planned-crash retries to its own counters, so mirror the
+             exact with_retry tally — min(crashes, attempts - 1) per
+             executed job — on the client-visible counter here. *)
+          let attempts = (Injector.spec t.inj).Spec.max_attempts in
+          List.iter
+            (fun q ->
+              Obs.add c_retries (Stdlib.min q.crashes_left (attempts - 1)))
+            jobs;
+          exec
+            (List.map
+               (fun q ->
+                 {
+                   job_key = q.key;
+                   job_id = q.arrival;
+                   job_digest = q.digest;
+                   job_graph = q.graph;
+                   job_params = q.params;
+                   job_warm = q.warm_init;
+                   job_expire = q.expire_round;
+                   job_crashes = q.crashes_left;
+                 })
+               jobs)
     in
     let by_key = Hashtbl.create 16 in
     List.iter (fun (k, o) -> Hashtbl.replace by_key k o) outcomes;
@@ -667,13 +858,24 @@ let flush t =
             ("ok", true, [ ("cached", J.Bool true); ("result", result) ])
         | None -> (
             match Hashtbl.find_opt by_key q.key with
-            | Some (`Ok (result, _)) ->
+            | Some (`Ok (result, m)) ->
                 (* Within-batch duplicates of the leader are cache hits
                    against the entry the leader just inserted. *)
                 let is_leader = Hashtbl.find_opt leader q.key = Some q.arrival in
+                let extra =
+                  if q.want_matching then
+                    [
+                      ( "matching",
+                        J.Str
+                          (Protocol.hex_encode
+                             (Wm_graph.Graph_io.matching_to_binary m)) );
+                    ]
+                  else []
+                in
                 ( "ok",
                   not is_leader,
-                  [ ("cached", J.Bool (not is_leader)); ("result", result) ] )
+                  [ ("cached", J.Bool (not is_leader)); ("result", result) ]
+                  @ extra )
             | Some (`Deadline (result, _)) ->
                 ( "deadline",
                   false,
@@ -717,7 +919,8 @@ let flush t =
 (* ------------------------------------------------------------------ *)
 (* Admission *)
 
-let admit t ~id ~(digest : string option) (params : Protocol.solve_params) =
+let admit t ~id ~(digest : string option) ~chaos
+    (params : Protocol.solve_params) =
   let fail msg =
     Obs.incr c_errors;
     ledger_row t ~label:"solve" ~id ~cached:false ~status:"error" ~latency_ns:0;
@@ -741,67 +944,103 @@ let admit t ~id ~(digest : string option) (params : Protocol.solve_params) =
           end
           else begin
             Obs.incr c_solves;
-            (* Chaos pre-draws (sequential, request-loop domain): a
-               straggler hit expires the request's deadline at a
-               deterministic round; the crash plan counts how many
-               attempts will be aborted before one succeeds. *)
-            let expire_round =
-              match Injector.straggler t.inj ~site:"serve.deadline" ~at:t.reqno with
-              | 0 -> None
-              | k -> Some k
+            let plan =
+              match chaos with
+              | Some c -> (
+                  (* Replay a carried plan (router -> shard solve): the
+                     draws already happened at the router's admission,
+                     and the warm start — if any — arrives inline.  The
+                     worker's own warm table is never consulted. *)
+                  match c.Protocol.warm with
+                  | None ->
+                      Ok
+                        ( c.Protocol.expire_round,
+                          c.Protocol.crashes,
+                          None,
+                          c.Protocol.want_matching )
+                  | Some hx -> (
+                      match
+                        Wm_graph.Graph_io.matching_of_binary
+                          (Protocol.hex_decode hx)
+                      with
+                      | m ->
+                          Ok
+                            ( c.Protocol.expire_round,
+                              c.Protocol.crashes,
+                              Some m,
+                              c.Protocol.want_matching )
+                      | exception _ -> Error "malformed x_warm payload"))
+              | None ->
+                  (* Chaos pre-draws (sequential, request-loop domain):
+                     a straggler hit expires the request's deadline at a
+                     deterministic round; the crash plan counts how many
+                     attempts will be aborted before one succeeds. *)
+                  let expire_round =
+                    match
+                      Injector.straggler t.inj ~site:"serve.deadline"
+                        ~at:t.reqno
+                    with
+                    | 0 -> None
+                    | k -> Some k
+                  in
+                  let attempts = (Injector.spec t.inj).Spec.max_attempts in
+                  let rec crash_plan k =
+                    if k >= attempts then k
+                    else
+                      match
+                        Injector.crash t.inj ~site:"serve.solve" ~at:t.reqno
+                          ~machines:1
+                      with
+                      | () -> k
+                      | exception Injector.Injected_crash _ -> crash_plan (k + 1)
+                  in
+                  let crashes_left = crash_plan 0 in
+                  (* Warm-start capture happens here, sequentially on the
+                     request-loop domain: the matching the session holds
+                     right now is the one this solve starts from,
+                     whatever order the pool later runs the batch in.
+                     Greedy is single-shot and never warm-starts. *)
+                  let warm_init =
+                    if
+                      t.config.warm_start
+                      && params.Protocol.algo <> Protocol.Greedy
+                    then
+                      Hashtbl.find_opt s.warm (Protocol.canonical_params params)
+                    else None
+                  in
+                  Ok (expire_round, crashes_left, warm_init, false)
             in
-            let attempts = (Injector.spec t.inj).Spec.max_attempts in
-            let rec crash_plan k =
-              if k >= attempts then k
-              else
-                match
-                  Injector.crash t.inj ~site:"serve.solve" ~at:t.reqno
-                    ~machines:1
-                with
-                | () -> k
-                | exception Injector.Injected_crash _ -> crash_plan (k + 1)
-            in
-            let crashes_left = crash_plan 0 in
-            (* Warm-start capture happens here, sequentially on the
-               request-loop domain: the matching the session holds right
-               now is the one this solve starts from, whatever order the
-               pool later runs the batch in.  Greedy is single-shot and
-               never warm-starts. *)
-            let warm_init =
-              if
-                t.config.warm_start
-                && params.Protocol.algo <> Protocol.Greedy
-              then
-                Hashtbl.find_opt s.warm (Protocol.canonical_params params)
-              else None
-            in
-            if Option.is_some warm_init then Obs.incr c_warm;
-            let now = Obs.now_ns () in
-            let deadline_ns =
-              match (params.Protocol.deadline_ms, t.config.deadline_ms) with
-              | Some ms, _ -> Some (now + (ms * 1_000_000))
-              | None, ms when ms > 0 -> Some (now + (ms * 1_000_000))
-              | None, _ -> None
-            in
-            t.queue <-
-              {
-                arrival = t.reqno;
-                id;
-                digest = d;
-                graph = s.graph;
-                session = s;
-                params;
-                key = Protocol.cache_key ~digest:d params;
-                warm_init;
-                enqueued_ns = now;
-                expire_round;
-                crashes_left;
-                deadline_ns;
-              }
-              :: t.queue;
-            t.queue_len <- t.queue_len + 1;
-            t.volatile_line <- true;
-            []
+            match plan with
+            | Error msg -> fail msg
+            | Ok (expire_round, crashes_left, warm_init, want_matching) ->
+                if Option.is_some warm_init then Obs.incr c_warm;
+                let now = Obs.now_ns () in
+                let deadline_ns =
+                  match (params.Protocol.deadline_ms, t.config.deadline_ms) with
+                  | Some ms, _ -> Some (now + (ms * 1_000_000))
+                  | None, ms when ms > 0 -> Some (now + (ms * 1_000_000))
+                  | None, _ -> None
+                in
+                t.queue <-
+                  {
+                    arrival = t.reqno;
+                    id;
+                    digest = d;
+                    graph = s.graph;
+                    session = s;
+                    params;
+                    key = Protocol.cache_key ~digest:d params;
+                    warm_init;
+                    enqueued_ns = now;
+                    expire_round;
+                    crashes_left;
+                    deadline_ns;
+                    want_matching;
+                  }
+                  :: t.queue;
+                t.queue_len <- t.queue_len + 1;
+                t.volatile_line <- true;
+                []
           end)
 
 (* ------------------------------------------------------------------ *)
@@ -840,9 +1079,13 @@ let load t ~id ~graph ~path =
             digest = d;
             generation = 0;
             warm = Hashtbl.create 4;
+            snap_file = None;
           }
       end;
       t.last <- Some d;
+      (match t.config.on_load with
+      | Some hook -> hook ~digest:d ~graph:g
+      | None -> ());
       (if logging t then
          let s = Hashtbl.find t.sessions d in
          note t
@@ -930,6 +1173,9 @@ let mutate t ~id ~digest ~add_vertices ~add ~remove =
               Obs.add c_edges_added (List.length add);
               Obs.add c_edges_removed (List.length remove);
               Obs.add c_vertices_added add_vertices;
+              (match t.config.on_rekey with
+              | Some hook -> hook ~old_digest:d ~digest:d' ~graph:g'
+              | None -> ());
               let delta = Protocol.canonical_delta ~add_vertices ~add ~remove in
               Ledger.record ~label:delta Ledger.default
                 ~section:"serve.mutations"
@@ -1007,10 +1253,12 @@ let evict t ~id ~digest =
   | None ->
       let ns = Hashtbl.length t.sessions in
       let nr = Cache.length t.cache in
+      Hashtbl.iter (fun _ s -> gc_snapshot s) t.sessions;
       Hashtbl.reset t.sessions;
       t.order <- [];
       t.last <- None;
       Cache.clear t.cache;
+      (match t.config.on_evict with Some hook -> hook None | None -> ());
       note t (Wal.Evict { digest = None });
       Obs.incr c_evicts;
       ledger_row t ~label:"evict" ~id ~cached:false ~status:"ok" ~latency_ns:0;
@@ -1025,7 +1273,8 @@ let evict t ~id ~digest =
           [ Protocol.error_response ~id
               (Printf.sprintf "unknown session digest %s" d) ]
           |> List.hd
-      | Some _ ->
+      | Some s ->
+          gc_snapshot s;
           Hashtbl.remove t.sessions d;
           t.order <- List.filter (fun x -> x <> d) t.order;
           (if t.last = Some d then
@@ -1036,12 +1285,103 @@ let evict t ~id ~digest =
             Cache.remove_where t.cache (fun k ->
                 String.starts_with ~prefix:(d ^ "|") k)
           in
+          (match t.config.on_evict with
+          | Some hook -> hook (Some d)
+          | None -> ());
           note t (Wal.Evict { digest = Some d });
           Obs.incr c_evicts;
           ledger_row t ~label:"evict" ~id ~cached:false ~status:"ok"
             ~latency_ns:0;
           Protocol.response ~id ~status:"ok"
             [ ("evicted_sessions", J.Int 1); ("evicted_results", J.Int dropped) ])
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+let report_json t =
+  let obs_json = Obs.to_json Obs.default in
+  let histograms =
+    match J.member "histograms" obs_json with Some h -> h | None -> J.Obj []
+  in
+  let serve =
+    J.Obj
+      [
+        ("requests", J.Int t.reqno);
+        ("batches", J.Int t.batchno);
+        ("sessions", J.Int (Hashtbl.length t.sessions));
+        ("queue_depth", J.Int t.config.queue_depth);
+        ( "counters",
+          J.Obj
+            (List.map
+               (fun (k, c) -> (k, J.Int (rel t c)))
+               [
+                 ("requests", c_requests);
+                 ("loads", c_loads);
+                 ("solves", c_solves);
+                 ("overloaded", c_overloaded);
+                 ("shed_requests", c_shed);
+                 ("deadline_expired", c_deadline);
+                 ("retries", c_retries);
+                 ("errors", c_errors);
+                 ("batches", c_batches);
+                 ("evicts", c_evicts);
+                 ("shutdowns", c_shutdowns);
+               ]) );
+        ( "incremental",
+          J.Obj
+            (List.map
+               (fun (k, c) -> (k, J.Int (rel t c)))
+               [
+                 ("mutations", c_mutations);
+                 ("edges_added", c_edges_added);
+                 ("edges_removed", c_edges_removed);
+                 ("vertices_added", c_vertices_added);
+                 ("warm_solves", c_warm);
+               ]) );
+        ( "cache",
+          J.Obj
+            [
+              ("entries", J.Int (Cache.length t.cache));
+              ("capacity", J.Int (Cache.capacity t.cache));
+              ("hits", J.Int (rel t c_hits));
+              ("misses", J.Int (rel t c_misses));
+              ("evictions", J.Int (Cache.evictions t.cache));
+            ] );
+        ( "recovery",
+          match t.recovery with
+          | None -> J.Obj []
+          | Some r ->
+              J.Obj
+                [
+                  ("replayed", J.Int r.replayed);
+                  ("truncated_bytes", J.Int r.truncated_bytes);
+                  ("snapshots_restored", J.Int r.snapshots_restored);
+                  ("restore_ms", J.Int r.restore_ms);
+                ] );
+      ]
+  in
+  J.Obj
+    [
+      ("schema", J.Str "BENCH_v1");
+      ("mode", J.Str "serve");
+      ("seed", J.Int 0);
+      ("jobs", J.Int (Wm_par.Pool.default_jobs ()));
+      ("experiments", J.List []);
+      ("micro", J.List []);
+      ("serve", serve);
+      (* Single-process shape of the mandatory shard block; the shard
+         router's reporter replaces it with real per-shard metering. *)
+      ("shard", J.Obj [ ("shards", J.Int 0) ]);
+      ("obs", obs_json);
+      ( "gc",
+        Wm_obs.Gcstat.block_json ~ledger:Ledger.default
+          (Wm_obs.Gcstat.since_start ()) );
+      ("histograms", histograms);
+      ("ledger", Ledger.to_json Ledger.default);
+      ("faults", Recovery.report_json ());
+      ("durability", Recovery.durability_json ());
+      ("trace_meta", Wm_obs.Trace.meta ());
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Request dispatch *)
@@ -1055,8 +1395,37 @@ let dispatch t (req : Protocol.request) =
   end
   else
     match req.Protocol.verb with
-    | Protocol.Solve { digest; params } ->
-        admit t ~id:req.Protocol.id ~digest params
+    | Protocol.Solve { digest; params; chaos } ->
+        admit t ~id:req.Protocol.id ~digest ~chaos params
+    | Protocol.Ping ->
+        (* Health probe — deliberately {e not} a batch boundary, so the
+           router (or an operator) can peek at queue pressure without
+           forcing queued solves to run. *)
+        ledger_row t ~label:"ping" ~id:req.Protocol.id ~cached:false
+          ~status:"ok" ~latency_ns:0;
+        [
+          Protocol.response ~id:req.Protocol.id ~status:"ok"
+            [
+              ("shard", J.Int t.config.shard_id);
+              ("queue", J.Int t.queue_len);
+              ("queue_depth", J.Int t.config.queue_depth);
+              ("sessions", J.Int (Hashtbl.length t.sessions));
+              ("cache_entries", J.Int (Cache.length t.cache));
+              ("cache_capacity", J.Int (Cache.capacity t.cache));
+            ];
+        ]
+    | Protocol.Report ->
+        let flushed = flush t in
+        ledger_row t ~label:"report" ~id:req.Protocol.id ~cached:false
+          ~status:"ok" ~latency_ns:0;
+        let r =
+          match t.config.reporter with
+          | Some f -> f ()
+          | None -> report_json t
+        in
+        flushed
+        @ [ Protocol.response ~id:req.Protocol.id ~status:"ok"
+              [ ("report", r) ] ]
     | Protocol.Load { graph; path } ->
         (* Every non-solve verb is a batch boundary: queued solves run
            (and are answered) first, so responses stay in arrival order
@@ -1194,87 +1563,3 @@ let run t ic oc =
       in
       loop ())
 
-(* ------------------------------------------------------------------ *)
-(* Reporting *)
-
-let report_json t =
-  let obs_json = Obs.to_json Obs.default in
-  let histograms =
-    match J.member "histograms" obs_json with Some h -> h | None -> J.Obj []
-  in
-  let serve =
-    J.Obj
-      [
-        ("requests", J.Int t.reqno);
-        ("batches", J.Int t.batchno);
-        ("sessions", J.Int (Hashtbl.length t.sessions));
-        ("queue_depth", J.Int t.config.queue_depth);
-        ( "counters",
-          J.Obj
-            (List.map
-               (fun (k, c) -> (k, J.Int (rel t c)))
-               [
-                 ("requests", c_requests);
-                 ("loads", c_loads);
-                 ("solves", c_solves);
-                 ("overloaded", c_overloaded);
-                 ("shed_requests", c_shed);
-                 ("deadline_expired", c_deadline);
-                 ("retries", c_retries);
-                 ("errors", c_errors);
-                 ("batches", c_batches);
-                 ("evicts", c_evicts);
-                 ("shutdowns", c_shutdowns);
-               ]) );
-        ( "incremental",
-          J.Obj
-            (List.map
-               (fun (k, c) -> (k, J.Int (rel t c)))
-               [
-                 ("mutations", c_mutations);
-                 ("edges_added", c_edges_added);
-                 ("edges_removed", c_edges_removed);
-                 ("vertices_added", c_vertices_added);
-                 ("warm_solves", c_warm);
-               ]) );
-        ( "cache",
-          J.Obj
-            [
-              ("entries", J.Int (Cache.length t.cache));
-              ("capacity", J.Int (Cache.capacity t.cache));
-              ("hits", J.Int (rel t c_hits));
-              ("misses", J.Int (rel t c_misses));
-              ("evictions", J.Int (Cache.evictions t.cache));
-            ] );
-        ( "recovery",
-          match t.recovery with
-          | None -> J.Obj []
-          | Some r ->
-              J.Obj
-                [
-                  ("replayed", J.Int r.replayed);
-                  ("truncated_bytes", J.Int r.truncated_bytes);
-                  ("snapshots_restored", J.Int r.snapshots_restored);
-                  ("restore_ms", J.Int r.restore_ms);
-                ] );
-      ]
-  in
-  J.Obj
-    [
-      ("schema", J.Str "BENCH_v1");
-      ("mode", J.Str "serve");
-      ("seed", J.Int 0);
-      ("jobs", J.Int (Wm_par.Pool.default_jobs ()));
-      ("experiments", J.List []);
-      ("micro", J.List []);
-      ("serve", serve);
-      ("obs", obs_json);
-      ( "gc",
-        Wm_obs.Gcstat.block_json ~ledger:Ledger.default
-          (Wm_obs.Gcstat.since_start ()) );
-      ("histograms", histograms);
-      ("ledger", Ledger.to_json Ledger.default);
-      ("faults", Recovery.report_json ());
-      ("durability", Recovery.durability_json ());
-      ("trace_meta", Wm_obs.Trace.meta ());
-    ]

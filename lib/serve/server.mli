@@ -57,6 +57,30 @@
     [serve] block, including an [incremental] sub-block (mutations,
     edge/vertex delta tallies, warm solves). *)
 
+type job = {
+  job_key : string;  (** result-cache key ({!Protocol.cache_key}) *)
+  job_id : int;  (** arrival number — unique within the batch *)
+  job_digest : string;
+  job_graph : Wm_graph.Weighted_graph.t;
+  job_params : Protocol.solve_params;
+  job_warm : Wm_graph.Matching.t option;
+      (** warm-start matching captured at admission *)
+  job_expire : int option;  (** injected deadline-expiry round *)
+  job_crashes : int;  (** planned crashed attempts before success *)
+}
+(** One deduplicated solve (a batch leader), as handed to a delegating
+    [executor].  Carries everything a remote worker needs to reproduce
+    the exact outcome a local {!Wm_par.Pool} execution would commit:
+    the graph, the params, the pre-drawn chaos plan and the warm-start
+    matching. *)
+
+type outcome =
+  [ `Ok of Wm_obs.Json.t * Wm_graph.Matching.t
+  | `Deadline of Wm_obs.Json.t * Wm_graph.Matching.t
+  | `Error of string ]
+(** A solve's result: the response's [result] JSON plus the matching
+    (which feeds the cache/warm-start stores), or a failure message. *)
+
 type config = {
   queue_depth : int;  (** max queued solves per batch (default 16) *)
   cache_entries : int;  (** LRU result-cache capacity (default 64) *)
@@ -86,6 +110,33 @@ type config = {
       (** test hook: {!run} SIGKILLs the process after emitting the
           responses of this many input lines — the deterministic
           mid-stream kill of the crash-recovery fixtures *)
+  shard_id : int;
+      (** reported by the [ping] verb (default [0]; the shard router
+          assigns each worker its index) *)
+  executor : (job list -> (string * outcome) list) option;
+      (** delegate batch execution: when set, {!flush} hands the
+          deduplicated leader jobs to this function instead of the
+          default {!Wm_par.Pool} — the shard router's hook.  Must
+          return one [(job_key, outcome)] per job.  Admission, chaos
+          draws, caching, warm-start bookkeeping and response
+          rendering all stay here, which is what keeps transcripts
+          byte-identical across [--shards] settings. *)
+  on_load : (digest:string -> graph:Wm_graph.Weighted_graph.t -> unit) option;
+      (** observer: a session was loaded (fresh or re-load) *)
+  on_rekey :
+    (old_digest:string ->
+    digest:string ->
+    graph:Wm_graph.Weighted_graph.t ->
+    unit)
+    option;
+      (** observer: a mutation re-keyed a session — the router migrates
+          it to its new home shard *)
+  on_evict : (string option -> unit) option;
+      (** observer: a session (or, with [None], everything) was
+          evicted *)
+  reporter : (unit -> Wm_obs.Json.t) option;
+      (** override for the [report] verb's payload (the router answers
+          with the merged multi-shard report); [None] = {!report_json} *)
 }
 
 val default_config : unit -> config
@@ -149,6 +200,11 @@ val run : t -> in_channel -> out_channel -> unit
 
 val sessions : t -> (string * int * int) list
 (** Loaded sessions as [(digest, n, m)] in load order (for tests). *)
+
+val session_graphs : t -> (string * Wm_graph.Weighted_graph.t) list
+(** Loaded sessions as [(digest, graph)] in load order — the shard
+    router uses this to rebuild its placement roster after a WAL
+    restore. *)
 
 val report_json : t -> Wm_obs.Json.t
 (** A BENCH_v1 report (mode ["serve"], empty [experiments]) whose

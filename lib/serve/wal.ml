@@ -153,6 +153,14 @@ type body =
       warm : (string * string * string) list;
     }
   | Stop
+  | Base of {
+      lsn : int;
+      order : (int * string) list;
+      last : string option;
+      stopped : bool;
+      cache : (string * string) list;
+      evictions : int;
+    }
 
 type record = { header : header; bodies : body list }
 
@@ -210,6 +218,28 @@ let encode_body buf body =
           add_string buf m)
         warm
   | Stop -> Buffer.add_char buf 'S'
+  | Base { lsn; order; last; stopped; cache; evictions } ->
+      Buffer.add_char buf 'B';
+      add_varint buf lsn;
+      add_varint buf (List.length order);
+      List.iter
+        (fun (origin, digest) ->
+          add_varint buf origin;
+          add_string buf digest)
+        order;
+      (match last with
+      | None -> Buffer.add_char buf '\000'
+      | Some d ->
+          Buffer.add_char buf '\001';
+          add_string buf d);
+      Buffer.add_char buf (if stopped then '\001' else '\000');
+      add_varint buf (List.length cache);
+      List.iter
+        (fun (k, v) ->
+          add_string buf k;
+          add_string buf v)
+        cache;
+      add_varint buf evictions
 
 let encode_record r =
   let open Bin in
@@ -300,6 +330,37 @@ let decode_body s pos =
       in
       (Flush { touches; inserts; warm }, !pos)
   | 'S' -> (Stop, pos + 1)
+  | 'B' ->
+      let lsn, p = read_varint s (pos + 1) in
+      let no, p = read_varint s p in
+      let pos = ref p in
+      let order =
+        List.init no (fun _ ->
+            let origin, p = read_varint s !pos in
+            let digest, p = read_string s p in
+            pos := p;
+            (origin, digest))
+      in
+      if !pos >= String.length s then raise (Corrupt "truncated body");
+      let last, p =
+        if s.[!pos] = '\001' then
+          let d, p = read_string s (!pos + 1) in
+          (Some d, p)
+        else (None, !pos + 1)
+      in
+      if p >= String.length s then raise (Corrupt "truncated body");
+      let stopped = s.[p] = '\001' in
+      let nc, p = read_varint s (p + 1) in
+      pos := p;
+      let cache =
+        List.init nc (fun _ ->
+            let k, p = read_string s !pos in
+            let v, p = read_string s p in
+            pos := p;
+            (k, v))
+      in
+      let evictions, p = read_varint s !pos in
+      (Base { lsn; order; last; stopped; cache; evictions }, p)
   | c -> raise (Corrupt (Printf.sprintf "unknown body tag %C" c))
 
 let decode_record s =
@@ -342,17 +403,20 @@ let decode_record s =
 let log_file = "wal.log"
 let path ~dir = Filename.concat dir log_file
 
-type t = { fd : Unix.file_descr; mutable head : int }
+type t = {
+  dir : string;
+  mutable fd : Unix.file_descr;
+  mutable head : int;
+  mutable physical : int;
+}
 
-let open_log ~dir ~head =
-  let fd =
-    Unix.openfile (path ~dir)
-      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
-      0o644
-  in
-  { fd; head }
+let open_append ~dir =
+  Unix.openfile (path ~dir) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+
+let open_log ~dir ~head ~physical = { dir; fd = open_append ~dir; head; physical }
 
 let head t = t.head
+let physical t = t.physical
 
 let append t record =
   let framed = Bin.frame (encode_record record) in
@@ -361,10 +425,37 @@ let append t record =
   if written <> n then failwith "Wal.append: short write";
   Unix.fsync t.fd;
   t.head <- t.head + 1;
+  t.physical <- t.physical + 1;
   Recovery.note_wal_append ~bytes:n;
   t.head
 
 let close t = Unix.close t.fd
+
+(* Rewrite the log as a single base record — atomically: the new log is
+   written and fsynced to a temp file, renamed over [wal.log], and the
+   directory entry fsynced, so a crash at any point leaves either the
+   old log or the new one, never a mix.  The logical head is untouched:
+   the base record's [Base.lsn] {e is} the head, and replay offsets
+   later records past it. *)
+let compact t record =
+  let framed = Bin.frame (encode_record record) in
+  let tmp = Filename.concat t.dir "wal.log.tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = String.length framed in
+      let written = Unix.write_substring fd framed 0 n in
+      if written <> n then failwith "Wal.compact: short write";
+      Unix.fsync fd);
+  Unix.close t.fd;
+  Sys.rename tmp (path ~dir:t.dir);
+  (let dfd = Unix.openfile t.dir [ Unix.O_RDONLY ] 0 in
+   Fun.protect
+     ~finally:(fun () -> Unix.close dfd)
+     (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ()));
+  t.fd <- open_append ~dir:t.dir;
+  t.physical <- 1
 
 (* Scan the log, decoding frames until EOF or the first bad frame.
    Anything after the last good frame — a torn tail from a mid-append

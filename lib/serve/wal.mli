@@ -54,6 +54,23 @@ type body =
       warm : (string * string * string) list;
     }
   | Stop
+  | Base of {
+      lsn : int;  (** the logical LSN this base record stands at *)
+      order : (int * string) list;
+          (** live sessions as [(origin, digest)], in load order; each
+              is restored from its snapshot (written at this same LSN by
+              the compaction point) *)
+      last : string option;  (** the ["latest"] session digest *)
+      stopped : bool;
+      cache : (string * string) list;
+          (** result-cache dump, LRU to MRU, values as JSON text *)
+      evictions : int;  (** lifetime cache eviction tally *)
+    }
+      (** Compaction summary: a compacted log starts with exactly one
+          [Base] record carrying all bookkeeping the dropped prefix
+          used to rebuild (session roster, cache contents and recency,
+          eviction tally).  Session {e content} lives in the snapshots;
+          replaying a [Base] whose snapshot is missing is fail-stop. *)
 
 type record = { header : header; bodies : body list }
 
@@ -62,16 +79,30 @@ type t
 val path : dir:string -> string
 (** [dir ^ "/wal.log"]. *)
 
-val open_log : dir:string -> head:int -> t
+val open_log : dir:string -> head:int -> physical:int -> t
 (** Open (creating if absent) the log for appending.  [head] is the
-    LSN of the last existing record, as reported by {!scan}. *)
+    logical LSN of the last existing record; [physical] is the number
+    of physical records on disk ([List.length] of {!scan}'s result —
+    smaller than [head] after a compaction). *)
 
 val head : t -> int
-(** LSN of the most recently appended record (0 for an empty log). *)
+(** Logical LSN of the most recently appended record (0 for an empty
+    log).  Compaction never moves it. *)
+
+val physical : t -> int
+(** Number of physical records in the file: 1 right after {!compact},
+    [+1] per {!append}. *)
 
 val append : t -> record -> int
 (** Append one record, fsync, and return its LSN (1-based).  The
     record is durable when [append] returns. *)
+
+val compact : t -> record -> unit
+(** Atomically rewrite the log as the single given record (tmp file +
+    fsync + rename + directory fsync), leaving the logical head
+    untouched.  The record should carry a {!Base} body whose [lsn] is
+    the current head; on replay, records after it get LSNs offset past
+    the base. *)
 
 val close : t -> unit
 

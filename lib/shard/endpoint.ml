@@ -1,0 +1,34 @@
+module J = Wm_obs.Json
+
+exception Dead
+
+type t = {
+  shard : int;
+  send : string -> unit;
+  recv : unit -> string;
+  kill : unit -> unit;
+  close : unit -> unit;
+  describe : string;
+}
+
+let of_server ~shard srv =
+  let dead = ref false in
+  let pending = Queue.create () in
+  {
+    shard;
+    send =
+      (fun line ->
+        if !dead then raise Dead;
+        List.iter
+          (fun j -> Queue.add (J.to_string j) pending)
+          (Wm_serve.Server.handle_line srv line));
+    recv =
+      (fun () ->
+        if !dead then raise Dead;
+        match Queue.take_opt pending with
+        | Some l -> l
+        | None -> raise Dead);
+    kill = (fun () -> dead := true);
+    close = (fun () -> ());
+    describe = Printf.sprintf "local shard-%d" shard;
+  }

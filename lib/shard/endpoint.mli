@@ -1,0 +1,31 @@
+(** A line-protocol channel to one shard worker.
+
+    The router speaks to workers purely through this record — send one
+    WM_REQ_v1 line, receive one WM_RESP_v1 line — so forked processes
+    ({!Transport}) and in-process servers ({!of_server}, for tests) are
+    interchangeable.  Any torn or impossible interaction raises
+    {!Dead}; the router's response is always the same: kill, respawn,
+    and resend the whole dispatch group (loads and solves are
+    idempotent and deterministic, so a resend commits the same
+    responses the first attempt would have). *)
+
+exception Dead
+(** The worker is gone: EOF, a broken pipe, or (for a local endpoint)
+    an explicit kill. *)
+
+type t = {
+  shard : int;
+  send : string -> unit;  (** write one request line; may raise {!Dead} *)
+  recv : unit -> string;  (** read one response line; may raise {!Dead} *)
+  kill : unit -> unit;  (** hard-kill (SIGKILL for a forked worker) *)
+  close : unit -> unit;  (** graceful release after shutdown *)
+  describe : string;
+}
+
+val of_server : shard:int -> Wm_serve.Server.t -> t
+(** An in-process endpoint over a stock server: [send] feeds
+    {!Wm_serve.Server.handle_line} and queues the responses for
+    [recv].  [kill] marks the endpoint dead (every later call raises
+    {!Dead}) without touching the server — paired with a spawn factory
+    that re-creates the server on the same [wal_dir], it exercises the
+    router's revive-and-recover path without forking. *)

@@ -1,0 +1,62 @@
+(* Consistent hashing with virtual nodes.  Each shard owns [vnodes]
+   points on a 2^63 ring (FNV-1a 64-bit of the vnode label "k/j",
+   masked non-negative); a key lands on the first point clockwise of
+   its own hash.  Removing a shard deletes only that shard's points —
+   every other point keeps its position — so keys not homed on the
+   removed shard provably keep their home, and the moved fraction is
+   the removed shard's arc share (~1/N in expectation). *)
+
+type t = {
+  shards : int;
+  vnodes : int;
+  points : (int * int) array;  (* (hash, shard), sorted ascending *)
+}
+
+let fnv1a s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  Int64.to_int !h land max_int
+
+let build ~shards ~vnodes ~alive =
+  let pts = ref [] in
+  List.iter
+    (fun k ->
+      for j = 0 to vnodes - 1 do
+        pts := (fnv1a (Printf.sprintf "%d/%d" k j), k) :: !pts
+      done)
+    alive;
+  let a = Array.of_list !pts in
+  Array.sort compare a;
+  { shards; vnodes; points = a }
+
+let create ~shards ?(vnodes = 64) () =
+  if shards < 1 then invalid_arg "Ring.create: need at least one shard";
+  if vnodes < 1 then invalid_arg "Ring.create: need at least one vnode";
+  build ~shards ~vnodes ~alive:(List.init shards Fun.id)
+
+let shards t = t.shards
+
+let home t key =
+  match Array.length t.points with
+  | 0 -> invalid_arg "Ring.home: empty ring"
+  | n ->
+      let h = fnv1a key in
+      (* successor point: first hash strictly greater, wrapping *)
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if fst t.points.(mid) <= h then lo := mid + 1 else hi := mid
+      done;
+      snd t.points.(if !lo = n then 0 else !lo)
+
+let remove t k =
+  let alive =
+    List.filter (fun s -> s <> k) (List.init t.shards Fun.id)
+  in
+  if alive = [] then invalid_arg "Ring.remove: cannot empty the ring";
+  build ~shards:t.shards ~vnodes:t.vnodes ~alive

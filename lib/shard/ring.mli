@@ -1,0 +1,24 @@
+(** Consistent-hash ring for session placement (DESIGN.md §5.6).
+
+    Each shard owns [vnodes] pseudo-random points on a ring (FNV-1a
+    64-bit over the vnode label); a key is homed on the shard owning
+    the first point clockwise of the key's own hash.  Placement is a
+    pure function of [(shards, vnodes, key)] — deterministic across
+    processes and runs — and removing a shard moves only the keys that
+    were homed on it (everyone else's points don't move). *)
+
+type t
+
+val create : shards:int -> ?vnodes:int -> unit -> t
+(** A ring over shards [0 .. shards-1], [vnodes] points each
+    (default 64).  Raises [Invalid_argument] on [shards < 1]. *)
+
+val shards : t -> int
+
+val home : t -> string -> int
+(** The shard a key (a {!Wm_graph.Graph_io.digest}) is placed on. *)
+
+val remove : t -> int -> t
+(** The same ring without shard [k]'s points: keys homed elsewhere
+    keep their home exactly; keys homed on [k] redistribute to their
+    next-clockwise survivors. *)

@@ -1,0 +1,84 @@
+(* Forked worker transport.
+
+   Each worker is a stock [Wm_serve.Server] running [Server.run] over
+   one end of a Unix-domain socketpair; the router keeps the other
+   end.  Two fork hazards are handled here and nowhere else:
+
+   - the child must not inherit buffered-but-unflushed stdout/stderr
+     bytes, or its eventual [exit] re-flushes them and the transcript
+     gains duplicate lines — so we flush both immediately before every
+     [fork], including mid-stream revives;
+
+   - a child forked after earlier workers must not hold the router's
+     ends of its siblings' sockets, or killing a sibling never yields
+     EOF — so every parent-side fd is registered here and the child
+     closes the whole registry before running. *)
+
+let live_parent_fds : (int, Unix.file_descr) Hashtbl.t = Hashtbl.create 8
+let next_key = ref 0
+
+let sigpipe_ignored = lazy (Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+
+let spawn ~shard ~config =
+  Lazy.force sigpipe_ignored;
+  flush stdout;
+  flush stderr;
+  let parent_sock, child_sock =
+    Unix.socketpair ~cloexec:false Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  match Unix.fork () with
+  | 0 ->
+      (* child: drop every router-side fd, then serve until EOF *)
+      Unix.close parent_sock;
+      Hashtbl.iter (fun _ fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        live_parent_fds;
+      Hashtbl.reset live_parent_fds;
+      let ic = Unix.in_channel_of_descr child_sock in
+      let oc = Unix.out_channel_of_descr child_sock in
+      let status =
+        try
+          Wm_serve.Server.run (Wm_serve.Server.create config) ic oc;
+          0
+        with _ -> 1
+      in
+      exit status
+  | pid ->
+      Unix.close child_sock;
+      let key = !next_key in
+      incr next_key;
+      Hashtbl.replace live_parent_fds key parent_sock;
+      let ic = Unix.in_channel_of_descr parent_sock in
+      let oc = Unix.out_channel_of_descr parent_sock in
+      let released = ref false in
+      let release () =
+        if not !released then begin
+          released := true;
+          Hashtbl.remove live_parent_fds key;
+          (try Unix.close parent_sock with Unix.Unix_error _ -> ())
+        end
+      in
+      let reap () = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> () in
+      {
+        Endpoint.shard;
+        send =
+          (fun line ->
+            try
+              output_string oc line;
+              output_char oc '\n';
+              flush oc
+            with Sys_error _ -> raise Endpoint.Dead);
+        recv =
+          (fun () ->
+            try input_line ic
+            with End_of_file | Sys_error _ -> raise Endpoint.Dead);
+        kill =
+          (fun () ->
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            reap ();
+            release ());
+        close =
+          (fun () ->
+            release ();
+            reap ());
+        describe = Printf.sprintf "shard-%d pid %d" shard pid;
+      }

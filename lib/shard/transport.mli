@@ -1,0 +1,12 @@
+(** Forked shard workers over Unix-domain socketpairs.
+
+    [spawn ~shard ~config] forks a child that runs a stock
+    [Wm_serve.Server.run] loop over its half of a socketpair and
+    returns the router-side {!Endpoint.t}.  [send]/[recv] raise
+    {!Endpoint.Dead} once the worker is gone (broken pipe / EOF);
+    [kill] delivers SIGKILL and reaps; [close] is the graceful path
+    after a [shutdown] exchange.  The child closes every other
+    worker's router-side descriptor before serving, so killing one
+    worker cannot be masked by a sibling's inherited fd. *)
+
+val spawn : shard:int -> config:Wm_serve.Server.config -> Endpoint.t

@@ -89,7 +89,7 @@ let sample_records () =
   ]
 
 let write_log dir recs =
-  let w = Wal.open_log ~dir ~head:0 in
+  let w = Wal.open_log ~dir ~head:0 ~physical:0 in
   List.iteri (fun i r -> check "lsn" (i + 1) (Wal.append w r)) recs;
   Wal.close w
 
@@ -138,7 +138,7 @@ let test_empty_and_missing () =
   let got, cut = Wal.scan ~dir in
   check "missing file: no records" 0 (List.length got);
   check "missing file: no cut" 0 cut;
-  let w = Wal.open_log ~dir ~head:0 in
+  let w = Wal.open_log ~dir ~head:0 ~physical:0 in
   Wal.close w;
   let got2, cut2 = Wal.scan ~dir in
   check "empty file: no records" 0 (List.length got2);
@@ -346,6 +346,82 @@ let test_drain_writes_snapshots () =
   check "restored from snapshot" 1 r.Server.snapshots_restored;
   check "one session" 1 (List.length (Server.sessions b))
 
+let evict_digest_line id d =
+  line [ ("id", J.Int id); ("verb", J.Str "evict"); ("digest", J.Str d) ]
+
+let cached resp =
+  match J.of_string resp with
+  | Ok j -> J.member "cached" j = Some (J.Bool true)
+  | Error _ -> false
+
+(* WAL compaction at the snapshot point: once every live session has a
+   snapshot, the log's whole history collapses into a single [Base]
+   record — the physical file stops growing with request count — and a
+   fresh server restores sessions {e and} the result cache from it. *)
+let test_compaction_on_snapshot () =
+  let g = sample_graph 29 in
+  let dir = fresh_dir () in
+  let a = Server.create (config ~wal_dir:dir ~snapshot_every:0 ()) in
+  let _ = feed a [ load_line 1 g; solve_line 2; stats_line 3 ] in
+  let before, _ = Wal.scan ~dir in
+  check_bool "history accumulates before compaction" true
+    (List.length before > 1);
+  let c0 =
+    Wm_obs.Obs.counter_value Wm_obs.Obs.default "serve.wal.compacted_records"
+  in
+  ignore (Server.drain a);
+  let after, cut = Wal.scan ~dir in
+  check "clean log" 0 cut;
+  check "single physical record" 1 (List.length after);
+  (match after with
+  | [ { Wal.bodies = [ Wal.Base { lsn; order = [ _ ]; _ } ]; _ } ] ->
+      (* admitted solves are volatile (no record), so the head counts
+         the load line, the flush at the stats boundary, and drain *)
+      check_bool "base stands at the logical head" true (lsn >= 2)
+  | _ -> Alcotest.fail "compacted log is not a single Base record");
+  check_bool "compacted records counted" true
+    (Wm_obs.Obs.counter_value Wm_obs.Obs.default "serve.wal.compacted_records"
+    > c0);
+  let b = Server.create (config ~wal_dir:dir ()) in
+  check "session restored through the base" 1
+    (List.length (Server.sessions b));
+  match feed b [ solve_line 4; "" ] with
+  | [ resp ] -> check_bool "restored cache still hits" true (cached resp)
+  | _ -> Alcotest.fail "expected one response"
+
+(* Snapshot GC: evicting a session deletes its [snap-<digest>.bin], so
+   the wal-dir's file census tracks the live-session census instead of
+   accreting dead state. *)
+let test_evict_gcs_snapshot () =
+  let g = sample_graph 31 and h = sample_graph 37 in
+  let dir = fresh_dir () in
+  let a = Server.create (config ~wal_dir:dir ~snapshot_every:1 ()) in
+  let _ =
+    feed a
+      [
+        load_line 1 g;
+        load_line 2 h;
+        solve_line ~digest:(IO.digest g) 3;
+        stats_line 4;
+      ]
+  in
+  let snap d = Wm_serve.Snapshot.file ~dir d in
+  check_bool "both sessions snapshotted" true
+    (Sys.file_exists (snap (IO.digest g))
+    && Sys.file_exists (snap (IO.digest h)));
+  let _ = feed a [ evict_digest_line 5 (IO.digest g) ] in
+  check_bool "evicted session's snapshot deleted" true
+    (not (Sys.file_exists (snap (IO.digest g))));
+  check_bool "surviving session's snapshot kept" true
+    (Sys.file_exists (snap (IO.digest h)));
+  (* evict-all sweeps the rest *)
+  let _ = feed a [ evict_line 6 ] in
+  check_bool "evict-all sweeps every snapshot" true
+    (not (Sys.file_exists (snap (IO.digest h))));
+  (* a restart on the swept dir comes up empty but clean *)
+  let b = Server.create (config ~wal_dir:dir ()) in
+  check "no sessions after the sweep" 0 (List.length (Server.sessions b))
+
 let test_check_recovery_reports_divergence () =
   let r =
     Certify.check_recovery ~control:[ "a"; "b" ] ~recovered:[ "a"; "x" ]
@@ -386,6 +462,10 @@ let () =
             test_restored_session_digest_moves;
           Alcotest.test_case "drain writes snapshots" `Quick
             test_drain_writes_snapshots;
+          Alcotest.test_case "compaction on snapshot" `Quick
+            test_compaction_on_snapshot;
+          Alcotest.test_case "evict gcs snapshot" `Quick
+            test_evict_gcs_snapshot;
           Alcotest.test_case "check_recovery divergence" `Quick
             test_check_recovery_reports_divergence;
         ] );

@@ -118,7 +118,7 @@ let test_parse_defaults () =
   match
     (req "{\"schema\":\"WM_REQ_v1\",\"id\":7,\"verb\":\"solve\"}").Protocol.verb
   with
-  | Protocol.Solve { digest; params } ->
+  | Protocol.Solve { digest; params; _ } ->
       check_bool "digest defaults to latest" true (digest = None);
       check_bool "algo defaults to streaming" true
         (params.Protocol.algo = Protocol.Streaming);
@@ -619,6 +619,33 @@ let test_jobs_invariant_transcript () =
       check "same response count" (List.length t1) (List.length t4);
       List.iter2 (fun a b -> check_str "byte-identical response" a b) t1 t4)
 
+(* The ping health probe: answers immediately with shard id, queue
+   pressure, and cache occupancy — and is deliberately not a batch
+   boundary, so probing never forces queued solves to run. *)
+let test_ping_probe () =
+  let srv = server ~queue_depth:3 ~cache_entries:8 () in
+  let _ = load_graph srv 3 in
+  ignore (Server.handle_request srv (solve_req ~id:1 ()));
+  (match
+     Server.handle_request srv
+       (req "{\"schema\":\"WM_REQ_v1\",\"id\":2,\"verb\":\"ping\"}")
+   with
+  | [ r ] ->
+      check_str "ok" "ok" (status r);
+      check_bool "shard id" true (J.member "shard" r = Some (J.Int 0));
+      check_bool "queued solve visible" true
+        (J.member "queue" r = Some (J.Int 1));
+      check_bool "queue capacity" true
+        (J.member "queue_depth" r = Some (J.Int 3));
+      check_bool "sessions" true (J.member "sessions" r = Some (J.Int 1));
+      check_bool "cache occupancy" true
+        (J.member "cache_entries" r = Some (J.Int 0));
+      check_bool "cache capacity" true
+        (J.member "cache_capacity" r = Some (J.Int 8))
+  | _ -> Alcotest.fail "ping must answer exactly once, immediately");
+  (* the probed solve is still queued: the next boundary answers it *)
+  check "queue not flushed by ping" 1 (List.length (Server.flush srv))
+
 let test_report_shape () =
   let srv = server () in
   let _ = load_graph srv 3 in
@@ -737,6 +764,7 @@ let () =
             test_driver_cancellation;
           Alcotest.test_case "jobs-invariant transcript" `Slow
             test_jobs_invariant_transcript;
+          Alcotest.test_case "ping probe" `Quick test_ping_probe;
           Alcotest.test_case "report shape" `Quick test_report_shape;
         ] );
       ( "loadgen",
